@@ -1,0 +1,51 @@
+//! E1-adjacent performance bench: cost of the four sampling strategies on
+//! a 28-channel session (the acquisition subsystem must keep up with the
+//! live stream, paper §3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use aims_acquisition::sampling::{sample_stream, SamplingParams, Strategy};
+use aims_sensors::glove::CyberGloveRig;
+use aims_sensors::noise::NoiseSource;
+
+fn bench_strategies(c: &mut Criterion) {
+    let rig = CyberGloveRig::default();
+    let mut noise = NoiseSource::seeded(1);
+    let session = rig.record_session(10.0, 0.5, &mut noise);
+    let params = SamplingParams::default();
+
+    let mut g = c.benchmark_group("sampling_strategies");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((session.len() * session.channels()) as u64));
+    for strategy in Strategy::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &session,
+            |b, s| {
+                b.iter(|| sample_stream(s, strategy, &params));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_nyquist_estimators(c: &mut Criterion) {
+    use aims_dsp::spectrum::{estimate_nyquist_rate, FmaxEstimator};
+    let signal: Vec<f64> = (0..4096)
+        .map(|i| (i as f64 * 0.05).sin() * 10.0 + (i as f64 * 0.4).sin())
+        .collect();
+    let mut g = c.benchmark_group("nyquist_estimators");
+    for (name, est) in [
+        ("dft", FmaxEstimator::Dft),
+        ("autocorr", FmaxEstimator::Autocorrelation),
+        ("mse", FmaxEstimator::MinSquareError),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &signal, |b, s| {
+            b.iter(|| estimate_nyquist_rate(s, 100.0, est, 0.95));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_nyquist_estimators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E15/E18-adjacent performance benches: the online similarity measures
+//! and incremental SVD — these run inside the real-time loop (paper §3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aims_linalg::{IncrementalSvd, Matrix, Svd, Vector};
+use aims_sensors::asl::AslVocabulary;
+use aims_sensors::glove::CyberGloveRig;
+use aims_sensors::noise::NoiseSource;
+use aims_stream::baselines::SimilarityMeasure;
+use aims_stream::signature::SvdSignature;
+
+fn bench_similarity_measures(c: &mut Criterion) {
+    let vocab = AslVocabulary::standard(CyberGloveRig::default());
+    let mut noise = NoiseSource::seeded(9);
+    let a = vocab.instance(0, &mut noise).stream;
+    let b = vocab.instance(3, &mut noise).stream;
+
+    let mut g = c.benchmark_group("similarity_pairwise");
+    for measure in SimilarityMeasure::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(measure.name()),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| measure.similarity(a, b));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_signature_construction(c: &mut Criterion) {
+    let window = Matrix::from_fn(28, 64, |r, t| ((r * 7 + t * 3) % 23) as f64 * 0.4);
+    c.bench_function("svd_signature_28x64", |b| {
+        b.iter(|| SvdSignature::from_matrix(&window, 5));
+    });
+}
+
+fn bench_incremental_vs_batch_svd(c: &mut Criterion) {
+    let sensors = 28usize;
+    let frames = 128usize;
+    let data = Matrix::from_fn(sensors, frames, |r, t| {
+        ((r + 1) as f64 * (t as f64 * 0.07).sin()) + ((r * t) % 11) as f64 * 0.1
+    });
+
+    let mut g = c.benchmark_group("svd_28x128");
+    g.bench_function("batch_jacobi", |b| b.iter(|| Svd::compute(&data)));
+    g.bench_function("incremental_append_4", |b| {
+        // Steady-state incremental: 4 rank updates on a primed tracker.
+        let mut primed = IncrementalSvd::new(sensors, 8);
+        for t in 0..frames - 4 {
+            primed.append_column(&data.column(t));
+        }
+        b.iter(|| {
+            let mut inc = primed.clone();
+            for t in frames - 4..frames {
+                let col: Vector = (0..sensors).map(|r| data[(r, t)]).collect();
+                inc.append_column(&col);
+            }
+            inc.singular_values()[0]
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity_measures,
+    bench_signature_construction,
+    bench_incremental_vs_batch_svd
+);
+criterion_main!(benches);

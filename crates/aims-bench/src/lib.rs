@@ -1,0 +1,31 @@
+//! Experiment harness for the AIMS reproduction.
+//!
+//! The CIDR 2003 paper is a system-design paper: its "evaluation" is a set
+//! of quantitative claims rather than numbered result tables. Every claim
+//! is reproduced by one experiment here (E1–E19, plus extension
+//! experiments E20–E23; see `DESIGN.md` for the
+//! claim → experiment index). `cargo run --release -p aims-bench --bin
+//! experiments` prints the full table set that `EXPERIMENTS.md` records;
+//! the Criterion benches under `benches/` cover the performance-shaped
+//! claims.
+
+pub mod exp_acquisition;
+pub mod exp_adhd;
+pub mod exp_extensions;
+pub mod exp_online;
+pub mod exp_propolyne;
+pub mod exp_storage;
+pub mod exp_system;
+pub mod workloads;
+
+/// Prints a section header for one experiment.
+pub fn header(id: &str, claim: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{id}: {claim}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}

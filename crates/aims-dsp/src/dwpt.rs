@@ -1,0 +1,396 @@
+//! Discrete Wavelet Packet Transform and best-basis selection.
+//!
+//! §3.1.1 of the AIMS paper proposes to "study a general basis library,
+//! Discrete Wavelet Packet Transform (DWPT), to automatically select and
+//! apply different transformations on different dimensions". The DWPT
+//! recursively applies *both* the summary (lowpass) and detail (highpass)
+//! filters to every band, producing a binary tree of coefficient nodes;
+//! any antichain covering the root is an orthonormal basis. The classic
+//! Coifman–Wickerhauser algorithm picks the minimum-cost basis bottom-up in
+//! a single pass, for any additive cost functional.
+
+use crate::dwt::{analysis_step, is_power_of_two, synthesis_step};
+use crate::filters::WaveletFilter;
+
+/// Additive cost functionals for best-basis selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostFunction {
+    /// Unnormalized Shannon entropy `−Σ x²·ln x²` (the Coifman–Wickerhauser
+    /// default; favors energy concentrated in few coefficients).
+    ShannonEntropy,
+    /// Number of coefficients with magnitude above the threshold.
+    ThresholdCount(f64),
+    /// `Σ |x|` — the ℓ¹ sparsity surrogate.
+    L1Norm,
+    /// `Σ ln(x² + ε)` with a small floor to avoid −∞.
+    LogEnergy,
+}
+
+impl CostFunction {
+    /// Evaluates the cost of one coefficient vector.
+    pub fn cost(&self, coeffs: &[f64]) -> f64 {
+        match *self {
+            CostFunction::ShannonEntropy => coeffs
+                .iter()
+                .map(|&x| {
+                    let e = x * x;
+                    if e > 1e-300 {
+                        -e * e.ln()
+                    } else {
+                        0.0
+                    }
+                })
+                .sum(),
+            CostFunction::ThresholdCount(t) => {
+                coeffs.iter().filter(|x| x.abs() > t).count() as f64
+            }
+            CostFunction::L1Norm => coeffs.iter().map(|x| x.abs()).sum(),
+            CostFunction::LogEnergy => coeffs.iter().map(|&x| (x * x + 1e-300).ln()).sum(),
+        }
+    }
+}
+
+/// Identifies a node in the packet tree: `level` 0 is the root signal,
+/// `index` runs over the `2^level` bands at that level (even index = came
+/// through the summary filter, odd = through the detail filter).
+pub type NodeId = (usize, usize);
+
+/// A fully expanded wavelet packet tree of a power-of-two signal.
+#[derive(Clone, Debug)]
+pub struct WaveletPacketTree {
+    /// `nodes[level][index]` — coefficient vector of each band.
+    nodes: Vec<Vec<Vec<f64>>>,
+    filter: WaveletFilter,
+    depth: usize,
+}
+
+/// A basis selected from the packet tree: a set of nodes whose bands tile
+/// the whole signal exactly once.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PacketBasis {
+    /// Selected nodes in left-to-right band order.
+    pub nodes: Vec<NodeId>,
+    /// Total cost under the functional that selected it.
+    pub cost: f64,
+}
+
+impl WaveletPacketTree {
+    /// Fully decomposes `signal` down to `depth` levels.
+    ///
+    /// # Panics
+    /// If the length is not a power of two, or `2^depth` exceeds the length.
+    pub fn decompose(signal: &[f64], filter: &WaveletFilter, depth: usize) -> Self {
+        let n = signal.len();
+        assert!(is_power_of_two(n), "DWPT requires power-of-two length, got {n}");
+        assert!(
+            (1usize << depth) <= n,
+            "depth {depth} too deep for signal of length {n}"
+        );
+        let mut nodes: Vec<Vec<Vec<f64>>> = vec![vec![signal.to_vec()]];
+        for level in 0..depth {
+            let mut next = Vec::with_capacity(nodes[level].len() * 2);
+            for band in &nodes[level] {
+                let (a, d) = analysis_step(band, filter);
+                next.push(a);
+                next.push(d);
+            }
+            nodes.push(next);
+        }
+        WaveletPacketTree { nodes, filter: filter.clone(), depth }
+    }
+
+    /// Tree depth (number of split levels below the root).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Length of the analyzed signal.
+    pub fn signal_len(&self) -> usize {
+        self.nodes[0][0].len()
+    }
+
+    /// Borrows a node's coefficient band.
+    ///
+    /// # Panics
+    /// If the node id is out of range.
+    pub fn node(&self, id: NodeId) -> &[f64] {
+        &self.nodes[id.0][id.1]
+    }
+
+    /// The basis consisting of all leaves at the maximum depth (the full
+    /// DWPT "frequency-ordered" basis).
+    pub fn leaf_basis(&self, cost: CostFunction) -> PacketBasis {
+        let nodes: Vec<NodeId> = (0..self.nodes[self.depth].len()).map(|i| (self.depth, i)).collect();
+        let total = nodes.iter().map(|&id| cost.cost(self.node(id))).sum();
+        PacketBasis { nodes, cost: total }
+    }
+
+    /// The pure-DWT basis: the cascade that only ever splits the summary
+    /// band — `[a_J, d_J, d_{J−1}, …, d_1]`.
+    pub fn dwt_basis(&self, cost: CostFunction) -> PacketBasis {
+        let mut nodes = vec![(self.depth, 0), (self.depth, 1)];
+        for level in (1..self.depth).rev() {
+            nodes.push((level, 1));
+        }
+        if self.depth == 0 {
+            nodes = vec![(0, 0)];
+        }
+        let total = nodes.iter().map(|&id| cost.cost(self.node(id))).sum();
+        PacketBasis { nodes, cost: total }
+    }
+
+    /// Per-node cost table of this tree under the given functional:
+    /// `table[level][index]`. Suitable for accumulation across many trees
+    /// before a joint [`best_basis_from_costs`] search.
+    pub fn node_costs(&self, cost: CostFunction) -> Vec<Vec<f64>> {
+        self.nodes
+            .iter()
+            .map(|lvl| lvl.iter().map(|band| cost.cost(band)).collect())
+            .collect()
+    }
+
+    /// Coifman–Wickerhauser best basis: the antichain minimizing the total
+    /// additive cost, found by a bottom-up dynamic program.
+    pub fn best_basis(&self, cost: CostFunction) -> PacketBasis {
+        best_basis_from_costs(self.depth, &self.node_costs(cost))
+    }
+
+    /// Concatenated coefficients of a basis, in the basis's node order.
+    pub fn coefficients(&self, basis: &PacketBasis) -> Vec<f64> {
+        basis.nodes.iter().flat_map(|&id| self.node(id).iter().copied()).collect()
+    }
+
+    /// Reconstructs the original signal from a basis and (possibly
+    /// modified) coefficients laid out as by [`Self::coefficients`].
+    ///
+    /// # Panics
+    /// If the coefficient count doesn't match the basis.
+    pub fn reconstruct(&self, basis: &PacketBasis, coeffs: &[f64]) -> Vec<f64> {
+        // Place each band, then synthesize upward level by level.
+        let mut bands: Vec<Vec<Option<Vec<f64>>>> = self
+            .nodes
+            .iter()
+            .map(|lvl| vec![None; lvl.len()])
+            .collect();
+        let mut offset = 0;
+        for &(level, index) in &basis.nodes {
+            let len = self.nodes[level][index].len();
+            assert!(offset + len <= coeffs.len(), "coefficient vector too short");
+            bands[level][index] = Some(coeffs[offset..offset + len].to_vec());
+            offset += len;
+        }
+        assert_eq!(offset, coeffs.len(), "coefficient vector too long");
+
+        for level in (1..=self.depth).rev() {
+            for index in (0..self.nodes[level].len()).step_by(2) {
+                let (left, right) = {
+                    let (a, b) = bands[level].split_at_mut(index + 1);
+                    (a[index].take(), b[0].take())
+                };
+                if let (Some(a), Some(d)) = (left.clone(), right.clone()) {
+                    bands[level - 1][index / 2] = Some(synthesis_step(&a, &d, &self.filter));
+                } else {
+                    // Put back whatever we took (unbalanced pair means the
+                    // basis node lives higher up).
+                    bands[level][index] = left;
+                    bands[level][index + 1] = right;
+                }
+            }
+        }
+        bands[0][0].take().expect("basis did not tile the signal")
+    }
+}
+
+/// Runs the Coifman–Wickerhauser dynamic program on an explicit per-node
+/// cost table (`costs[level][index]`, levels `0..=depth`). Costs summed
+/// across many signals (e.g. every line of a data cube along one axis)
+/// yield the jointly best basis for them all — the population-time basis
+/// search the hybrid/packet ProPolyne needs.
+///
+/// # Panics
+/// If the table does not have `depth + 1` dyadic levels.
+pub fn best_basis_from_costs(depth: usize, costs: &[Vec<f64>]) -> PacketBasis {
+    assert_eq!(costs.len(), depth + 1, "cost table depth mismatch");
+    for (level, row) in costs.iter().enumerate() {
+        assert_eq!(row.len(), 1 << level, "cost table level {level} width mismatch");
+    }
+    let mut best_cost: Vec<Vec<f64>> = costs.to_vec();
+    let mut keep: Vec<Vec<bool>> = costs.iter().map(|lvl| vec![true; lvl.len()]).collect();
+
+    for level in (0..depth).rev() {
+        for index in 0..best_cost[level].len() {
+            let own = costs[level][index];
+            let children = best_cost[level + 1][2 * index] + best_cost[level + 1][2 * index + 1];
+            if children < own {
+                best_cost[level][index] = children;
+                keep[level][index] = false;
+            } else {
+                best_cost[level][index] = own;
+                keep[level][index] = true;
+            }
+        }
+    }
+
+    // Walk down from the root collecting kept nodes in band order.
+    let mut nodes = Vec::new();
+    let mut stack = vec![(0usize, 0usize)];
+    while let Some((level, index)) = stack.pop() {
+        if keep[level][index] || level == depth {
+            nodes.push((level, index));
+        } else {
+            // Push right first so left pops first (band order).
+            stack.push((level + 1, 2 * index + 1));
+            stack.push((level + 1, 2 * index));
+        }
+    }
+    nodes.sort_by_key(|&(level, index)| index << (depth - level));
+    PacketBasis { nodes, cost: best_cost[0][0] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::FilterKind;
+
+    fn chirpish(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * (4.0 + 20.0 * t) * t).sin()
+            })
+            .collect()
+    }
+
+    fn energy(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn tree_shapes() {
+        let x = chirpish(64);
+        let t = WaveletPacketTree::decompose(&x, &WaveletFilter::haar(), 3);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.signal_len(), 64);
+        assert_eq!(t.node((0, 0)).len(), 64);
+        assert_eq!(t.node((3, 5)).len(), 8);
+    }
+
+    #[test]
+    fn every_level_preserves_energy() {
+        let x = chirpish(128);
+        for kind in FilterKind::ALL {
+            let t = WaveletPacketTree::decompose(&x, &kind.filter(), 4);
+            for level in 0..=4 {
+                let e: f64 = (0..(1 << level)).map(|i| energy(t.node((level, i)))).sum();
+                assert!((e - energy(&x)).abs() < 1e-8, "{:?} level {level}", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_basis_roundtrip() {
+        let x = chirpish(64);
+        let t = WaveletPacketTree::decompose(&x, &WaveletFilter::db4(), 4);
+        let basis = t.leaf_basis(CostFunction::ShannonEntropy);
+        assert_eq!(basis.nodes.len(), 16);
+        let coeffs = t.coefficients(&basis);
+        assert_eq!(coeffs.len(), 64);
+        let y = t.reconstruct(&basis, &coeffs);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dwt_basis_matches_dwt_full_for_full_depth() {
+        let x = chirpish(32);
+        let f = WaveletFilter::haar();
+        let t = WaveletPacketTree::decompose(&x, &f, 5);
+        let basis = t.dwt_basis(CostFunction::L1Norm);
+        let coeffs = t.coefficients(&basis);
+        let flat = crate::dwt::dwt_full(&x, &f);
+        assert_eq!(coeffs.len(), flat.len());
+        for (a, b) in coeffs.iter().zip(&flat) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn best_basis_cost_is_minimal_among_standard_bases() {
+        let x = chirpish(128);
+        let t = WaveletPacketTree::decompose(&x, &WaveletFilter::db4(), 5);
+        let cost = CostFunction::ShannonEntropy;
+        let best = t.best_basis(cost);
+        let leaf = t.leaf_basis(cost);
+        let dwt = t.dwt_basis(cost);
+        assert!(best.cost <= leaf.cost + 1e-9, "best {} > leaf {}", best.cost, leaf.cost);
+        assert!(best.cost <= dwt.cost + 1e-9, "best {} > dwt {}", best.cost, dwt.cost);
+    }
+
+    #[test]
+    fn best_basis_tiles_signal_and_roundtrips() {
+        let x = chirpish(64);
+        for cf in [
+            CostFunction::ShannonEntropy,
+            CostFunction::ThresholdCount(0.1),
+            CostFunction::L1Norm,
+            CostFunction::LogEnergy,
+        ] {
+            let t = WaveletPacketTree::decompose(&x, &WaveletFilter::db6(), 4);
+            let basis = t.best_basis(cf);
+            // Bands tile: total coefficient count equals signal length.
+            let total: usize = basis.nodes.iter().map(|&id| t.node(id).len()).sum();
+            assert_eq!(total, 64, "{cf:?}");
+            let coeffs = t.coefficients(&basis);
+            let y = t.reconstruct(&basis, &coeffs);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-8, "{cf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_basis_prefers_root_for_white_noise_entropy() {
+        // For i.i.d. noise no split helps much; cost should not exceed the
+        // root's own cost.
+        let mut state = 99u64;
+        let x: Vec<f64> = (0..64)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect();
+        let t = WaveletPacketTree::decompose(&x, &WaveletFilter::haar(), 4);
+        let cost = CostFunction::ShannonEntropy;
+        let best = t.best_basis(cost);
+        assert!(best.cost <= cost.cost(&x) + 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_identity() {
+        let x = chirpish(16);
+        let t = WaveletPacketTree::decompose(&x, &WaveletFilter::haar(), 0);
+        let basis = t.best_basis(CostFunction::L1Norm);
+        assert_eq!(basis.nodes, vec![(0, 0)]);
+        let y = t.reconstruct(&basis, &t.coefficients(&basis));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep")]
+    fn excessive_depth_panics() {
+        WaveletPacketTree::decompose(&[1.0, 2.0], &WaveletFilter::haar(), 2);
+    }
+
+    #[test]
+    fn cost_functions_basic_values() {
+        assert_eq!(CostFunction::ThresholdCount(0.5).cost(&[0.1, 0.6, -0.7]), 2.0);
+        assert_eq!(CostFunction::L1Norm.cost(&[1.0, -2.0]), 3.0);
+        assert_eq!(CostFunction::ShannonEntropy.cost(&[0.0, 0.0]), 0.0);
+        // Entropy of a single unit spike is 0 (·ln 1); of spread mass it's
+        // positive.
+        let concentrated = CostFunction::ShannonEntropy.cost(&[1.0, 0.0]);
+        let spread = CostFunction::ShannonEntropy.cost(&[0.7071, 0.7071]);
+        assert!(concentrated < spread);
+    }
+}

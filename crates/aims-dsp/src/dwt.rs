@@ -1,0 +1,499 @@
+//! Periodic orthogonal discrete wavelet transform.
+//!
+//! AIMS stores immersidata in the wavelet domain (paper §3.1.1) and the
+//! storage subsystem (§3.2.1) reasons about the flat *error tree* layout of
+//! a fully-decomposed signal. This module provides:
+//!
+//! - single analysis/synthesis steps with periodic boundary handling,
+//! - multi-level decompositions ([`WaveletDecomposition`]),
+//! - the flat full transform [`dwt_full`] with the canonical error-tree
+//!   coefficient ordering `[a_J | d_J | d_{J−1} | … | d_1]`, and
+//! - tensor-product ("standard") multidimensional transforms used by
+//!   ProPolyne data cubes (§3.3).
+//!
+//! All transforms here are orthonormal: they preserve energy exactly and
+//! their inverses are their adjoints.
+
+use crate::filters::WaveletFilter;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `≥ n` (with `next_pow2(0) == 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Pads a signal with zeros up to the next power of two.
+pub fn pad_to_pow2(signal: &[f64]) -> Vec<f64> {
+    let mut v = signal.to_vec();
+    v.resize(next_pow2(signal.len()), 0.0);
+    v
+}
+
+/// One analysis step with periodic extension: splits `signal` (even length)
+/// into `(approx, detail)` halves.
+///
+/// # Panics
+/// If the signal length is zero or odd.
+pub fn analysis_step(signal: &[f64], filter: &WaveletFilter) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    assert!(n >= 2 && n.is_multiple_of(2), "analysis step needs even length ≥ 2, got {n}");
+    let half = n / 2;
+    let h = filter.lowpass();
+    let g = filter.highpass();
+    let mut approx = vec![0.0; half];
+    let mut detail = vec![0.0; half];
+    for k in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+            let x = signal[(2 * k + m) % n];
+            a += hm * x;
+            d += gm * x;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+    (approx, detail)
+}
+
+/// One synthesis step (adjoint of [`analysis_step`]): reconstructs the
+/// even-length signal from its approximation and detail halves.
+///
+/// # Panics
+/// If the halves differ in length or are empty.
+pub fn synthesis_step(approx: &[f64], detail: &[f64], filter: &WaveletFilter) -> Vec<f64> {
+    assert_eq!(approx.len(), detail.len(), "approx/detail length mismatch");
+    assert!(!approx.is_empty(), "cannot synthesize from empty halves");
+    let half = approx.len();
+    let n = 2 * half;
+    let h = filter.lowpass();
+    let g = filter.highpass();
+    let mut out = vec![0.0; n];
+    for k in 0..half {
+        let a = approx[k];
+        let d = detail[k];
+        for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+            out[(2 * k + m) % n] += hm * a + gm * d;
+        }
+    }
+    out
+}
+
+/// A multi-level wavelet decomposition.
+///
+/// `details[0]` is the *coarsest* detail band; `details.last()` the finest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaveletDecomposition {
+    /// Final (coarsest) approximation coefficients.
+    pub approx: Vec<f64>,
+    /// Detail bands, coarsest first.
+    pub details: Vec<Vec<f64>>,
+    /// Filter used, so reconstruction cannot mismatch.
+    pub filter: WaveletFilter,
+}
+
+impl WaveletDecomposition {
+    /// Decomposes `signal` through `levels` analysis steps.
+    ///
+    /// # Panics
+    /// If the signal length is not divisible by `2^levels` or is zero.
+    pub fn decompose(signal: &[f64], filter: &WaveletFilter, levels: usize) -> Self {
+        assert!(!signal.is_empty(), "cannot decompose an empty signal");
+        assert!(
+            levels == 0 || signal.len().is_multiple_of(1 << levels),
+            "signal length {} not divisible by 2^{levels}",
+            signal.len()
+        );
+        let mut approx = signal.to_vec();
+        let mut details_fine_first = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let (a, d) = analysis_step(&approx, filter);
+            details_fine_first.push(d);
+            approx = a;
+        }
+        details_fine_first.reverse();
+        WaveletDecomposition { approx, details: details_fine_first, filter: filter.clone() }
+    }
+
+    /// Number of analysis levels applied.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Length of the original signal.
+    pub fn signal_len(&self) -> usize {
+        self.approx.len() << self.details.len()
+    }
+
+    /// Inverse transform back to the original signal.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut approx = self.approx.clone();
+        for d in &self.details {
+            approx = synthesis_step(&approx, d, &self.filter);
+        }
+        approx
+    }
+
+    /// Total energy across all coefficients (Parseval: equals the signal
+    /// energy for these orthonormal filters).
+    pub fn energy(&self) -> f64 {
+        let a: f64 = self.approx.iter().map(|x| x * x).sum();
+        let d: f64 = self.details.iter().flatten().map(|x| x * x).sum();
+        a + d
+    }
+
+    /// Zeroes all but the `k` largest-magnitude coefficients (approximation
+    /// coefficients included), returning how many were kept. This is the
+    /// wavelet-synopsis primitive used by data-approximation baselines.
+    pub fn keep_top_k(&mut self, k: usize) -> usize {
+        let mut mags: Vec<f64> = self
+            .approx
+            .iter()
+            .chain(self.details.iter().flatten())
+            .map(|x| x.abs())
+            .collect();
+        let total = mags.len();
+        if k >= total {
+            return total;
+        }
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = mags[k.saturating_sub(1).min(total - 1)];
+        let mut kept = 0;
+        let mut clamp = |x: &mut f64| {
+            if x.abs() >= threshold && kept < k {
+                kept += 1;
+            } else {
+                *x = 0.0;
+            }
+        };
+        for x in &mut self.approx {
+            clamp(x);
+        }
+        for d in &mut self.details {
+            for x in d {
+                clamp(x);
+            }
+        }
+        kept
+    }
+}
+
+/// Full flat transform of a power-of-two signal, in error-tree order.
+///
+/// ```
+/// use aims_dsp::dwt::{dwt_full, idwt_full};
+/// use aims_dsp::filters::WaveletFilter;
+///
+/// let signal = vec![4.0, 6.0, 10.0, 12.0];
+/// let f = WaveletFilter::haar();
+/// let coeffs = dwt_full(&signal, &f);
+/// // The root coefficient carries the (scaled) total: Σx/√N.
+/// assert!((coeffs[0] - 32.0 / 2.0).abs() < 1e-12);
+/// assert_eq!(idwt_full(&coeffs, &f).len(), 4);
+/// ```
+///
+/// Layout:
+/// output index 0 holds the single final approximation coefficient, index 1
+/// the coarsest detail, indices `2..4` the next band, …, the top half the
+/// finest band.
+///
+/// This layout makes the Haar dependency structure explicit: the wavelet
+/// coefficient at flat index `i ≥ 1` has children at `2i` and `2i + 1`, and
+/// reconstructing any data value touches exactly one node per level — the
+/// access pattern the storage subsystem (§3.2.1) exploits.
+///
+/// # Panics
+/// If `signal.len()` is not a power of two.
+pub fn dwt_full(signal: &[f64], filter: &WaveletFilter) -> Vec<f64> {
+    let n = signal.len();
+    assert!(is_power_of_two(n), "dwt_full requires a power-of-two length, got {n}");
+    let levels = n.trailing_zeros() as usize;
+    let dec = WaveletDecomposition::decompose(signal, filter, levels);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&dec.approx); // single coefficient
+    for d in &dec.details {
+        out.extend_from_slice(d);
+    }
+    out
+}
+
+/// Inverse of [`dwt_full`].
+///
+/// # Panics
+/// If `coeffs.len()` is not a power of two.
+pub fn idwt_full(coeffs: &[f64], filter: &WaveletFilter) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(is_power_of_two(n), "idwt_full requires a power-of-two length, got {n}");
+    let levels = n.trailing_zeros() as usize;
+    let mut approx = vec![coeffs[0]];
+    let mut offset = 1;
+    for _ in 0..levels {
+        let band = &coeffs[offset..offset + approx.len()];
+        approx = synthesis_step(&approx, band, filter);
+        offset += band.len() / 2 + band.len() - band.len() / 2; // == band.len()
+    }
+    approx
+}
+
+/// The decomposition level of flat index `i` in the [`dwt_full`] layout of a
+/// length-`n` transform. Level `0` is the approximation root; level `l ≥ 1`
+/// counts detail bands from coarsest (`1`) to finest (`log2 n`).
+pub fn flat_index_level(i: usize, n: usize) -> usize {
+    assert!(is_power_of_two(n) && i < n);
+    if i == 0 {
+        0
+    } else {
+        (usize::BITS - 1 - i.leading_zeros()) as usize + 1
+    }
+}
+
+/// Standard (tensor-product) multidimensional wavelet transform: applies the
+/// full 1-D transform along every axis of a row-major array with the given
+/// power-of-two dimensions. This is the transform ProPolyne assumes for its
+/// multivariate range sums.
+///
+/// # Panics
+/// If `data.len() != dims.iter().product()` or any dimension is not a power
+/// of two.
+pub fn dwt_standard_md(data: &[f64], dims: &[usize], filter: &WaveletFilter) -> Vec<f64> {
+    transform_md(data, dims, |line| dwt_full(line, filter))
+}
+
+/// Inverse of [`dwt_standard_md`].
+pub fn idwt_standard_md(coeffs: &[f64], dims: &[usize], filter: &WaveletFilter) -> Vec<f64> {
+    transform_md(coeffs, dims, |line| idwt_full(line, filter))
+}
+
+fn transform_md(data: &[f64], dims: &[usize], line_op: impl Fn(&[f64]) -> Vec<f64>) -> Vec<f64> {
+    let total: usize = dims.iter().product();
+    assert_eq!(data.len(), total, "data length does not match dims");
+    for &d in dims {
+        assert!(is_power_of_two(d), "dimension {d} is not a power of two");
+    }
+    let mut buf = data.to_vec();
+    // Row-major strides.
+    let mut strides = vec![1usize; dims.len()];
+    for axis in (0..dims.len().saturating_sub(1)).rev() {
+        strides[axis] = strides[axis + 1] * dims[axis + 1];
+    }
+    for axis in 0..dims.len() {
+        let len = dims[axis];
+        let stride = strides[axis];
+        let lines = total / len;
+        let mut line = vec![0.0; len];
+        for l in 0..lines {
+            // Base offset of the l-th line along `axis`.
+            let outer = l / stride;
+            let inner = l % stride;
+            let base = outer * stride * len + inner;
+            for (j, slot) in line.iter_mut().enumerate() {
+                *slot = buf[base + j * stride];
+            }
+            let t = line_op(&line);
+            for (j, v) in t.into_iter().enumerate() {
+                buf[base + j * stride] = v;
+            }
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::FilterKind;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    fn energy(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn haar_analysis_known_values() {
+        let f = WaveletFilter::haar();
+        let (a, d) = analysis_step(&[1.0, 3.0, 5.0, 7.0], &f);
+        let s = std::f64::consts::SQRT_2;
+        assert!((a[0] - 4.0 / s * 2.0 / 2.0 - 0.0).abs() < 1e-12 || true);
+        // Haar: a[k] = (x₂ₖ + x₂ₖ₊₁)/√2, d[k] = (x₂ₖ − x₂ₖ₊₁)/√2
+        assert!((a[0] - 4.0 / s).abs() < 1e-12);
+        assert!((a[1] - 12.0 / s).abs() < 1e-12);
+        assert!((d[0] - (-2.0) / s).abs() < 1e-12);
+        assert!((d[1] - (-2.0) / s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reconstruction_one_step_all_filters() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        for kind in FilterKind::ALL {
+            let f = kind.filter();
+            let (a, d) = analysis_step(&x, &f);
+            let y = synthesis_step(&a, &d, &f);
+            for (xi, yi) in x.iter().zip(&y) {
+                assert!((xi - yi).abs() < 1e-10, "{}: {xi} vs {yi}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn energy_preservation_one_step() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
+        for kind in FilterKind::ALL {
+            let f = kind.filter();
+            let (a, d) = analysis_step(&x, &f);
+            let e = energy(&a) + energy(&d);
+            assert!((e - energy(&x)).abs() < 1e-9, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn multilevel_roundtrip_and_energy() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1).cos() + 0.01 * i as f64).collect();
+        for kind in FilterKind::ALL {
+            let f = kind.filter();
+            let dec = WaveletDecomposition::decompose(&x, &f, 5);
+            assert_eq!(dec.levels(), 5);
+            assert_eq!(dec.signal_len(), 128);
+            assert!((dec.energy() - energy(&x)).abs() < 1e-7, "{}", f.name());
+            let y = dec.reconstruct();
+            for (xi, yi) in x.iter().zip(&y) {
+                assert!((xi - yi).abs() < 1e-9, "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_full_roundtrip() {
+        let x: Vec<f64> = (0..256).map(|i| ((i * i) % 17) as f64 * 0.5 - 4.0).collect();
+        for kind in FilterKind::ALL {
+            let f = kind.filter();
+            let c = dwt_full(&x, &f);
+            assert_eq!(c.len(), x.len());
+            let y = idwt_full(&c, &f);
+            for (xi, yi) in x.iter().zip(&y) {
+                assert!((xi - yi).abs() < 1e-9, "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_full_constant_signal_concentrates_at_root() {
+        let f = WaveletFilter::haar();
+        let x = vec![5.0; 16];
+        let c = dwt_full(&x, &f);
+        // All energy at the approximation coefficient.
+        assert!((c[0] - 5.0 * 4.0).abs() < 1e-10); // 5·√16
+        for &d in &c[1..] {
+            assert!(d.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn flat_index_level_mapping() {
+        assert_eq!(flat_index_level(0, 16), 0);
+        assert_eq!(flat_index_level(1, 16), 1);
+        assert_eq!(flat_index_level(2, 16), 2);
+        assert_eq!(flat_index_level(3, 16), 2);
+        assert_eq!(flat_index_level(4, 16), 3);
+        assert_eq!(flat_index_level(7, 16), 3);
+        assert_eq!(flat_index_level(8, 16), 4);
+        assert_eq!(flat_index_level(15, 16), 4);
+    }
+
+    #[test]
+    fn keep_top_k_preserves_largest() {
+        let f = WaveletFilter::haar();
+        let x: Vec<f64> = (0..32).map(|i| if i == 5 { 100.0 } else { 1.0 }).collect();
+        let mut dec = WaveletDecomposition::decompose(&x, &f, 5);
+        let kept = dec.keep_top_k(4);
+        assert_eq!(kept, 4);
+        let approx_x = dec.reconstruct();
+        // The spike region should still be roughly represented.
+        let err = energy(&x.iter().zip(&approx_x).map(|(a, b)| a - b).collect::<Vec<_>>());
+        assert!(err < energy(&x) * 0.5, "top-k synopsis lost too much energy: {err}");
+        // keep_top_k with k >= total keeps everything.
+        let mut dec2 = WaveletDecomposition::decompose(&x, &f, 5);
+        assert_eq!(dec2.keep_top_k(1000), 32);
+    }
+
+    #[test]
+    fn md_transform_roundtrip_2d() {
+        let dims = [8, 16];
+        let data: Vec<f64> = (0..128).map(|i| ((i * 31) % 23) as f64 - 11.0).collect();
+        for kind in [FilterKind::Haar, FilterKind::Db4] {
+            let f = kind.filter();
+            let c = dwt_standard_md(&data, &dims, &f);
+            let y = idwt_standard_md(&c, &dims, &f);
+            for (a, b) in data.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-9, "{}", f.name());
+            }
+            assert!((energy(&c) - energy(&data)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn md_transform_roundtrip_3d() {
+        let dims = [4, 8, 4];
+        let data: Vec<f64> = (0..128).map(|i| (i as f64 * 0.7).sin()).collect();
+        let f = WaveletFilter::db4();
+        let c = dwt_standard_md(&data, &dims, &f);
+        let y = idwt_standard_md(&c, &dims, &f);
+        for (a, b) in data.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn md_matches_tensor_of_1d_on_separable_input() {
+        // data[i][j] = u[i]·v[j] ⇒ coeffs[i][j] = û[i]·v̂[j].
+        let u: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) * 0.5).collect();
+        let v: Vec<f64> = (0..4).map(|i| 1.0 + i as f64).collect();
+        let f = WaveletFilter::haar();
+        let data: Vec<f64> = u.iter().flat_map(|&a| v.iter().map(move |&b| a * b)).collect();
+        let c = dwt_standard_md(&data, &[8, 4], &f);
+        let cu = dwt_full(&u, &f);
+        let cv = dwt_full(&v, &f);
+        for i in 0..8 {
+            for j in 0..4 {
+                assert!((c[i * 4 + j] - cu[i] * cv[j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pad_helpers() {
+        assert!(is_power_of_two(1) && is_power_of_two(64) && !is_power_of_two(0) && !is_power_of_two(12));
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(17), 32);
+        let p = pad_to_pow2(&ramp(5));
+        assert_eq!(p.len(), 8);
+        assert_eq!(&p[..5], &ramp(5)[..]);
+        assert_eq!(&p[5..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn dwt_full_rejects_non_pow2() {
+        dwt_full(&ramp(12), &WaveletFilter::haar());
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn analysis_rejects_odd() {
+        analysis_step(&ramp(5), &WaveletFilter::haar());
+    }
+
+    #[test]
+    fn decompose_zero_levels_is_identity() {
+        let x = ramp(10);
+        let dec = WaveletDecomposition::decompose(&x, &WaveletFilter::haar(), 0);
+        assert_eq!(dec.reconstruct(), x);
+        assert_eq!(dec.levels(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Complex fast Fourier transform.
+//!
+//! The acquisition subsystem (paper §3.1) applies "the standard discrete
+//! Fourier transform, auto-correlation, and minimum square error techniques"
+//! to estimate each sensor's maximum frequency, and the online-analysis
+//! baselines (§3.4.2) include DFT-based sequence similarity. This module
+//! implements an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths
+//! and Bluestein's chirp-z algorithm for arbitrary lengths, all from scratch.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+/// In-place iterative radix-2 FFT. `inverse` selects the sign convention;
+/// the inverse also divides by `n` so `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// If the buffer length is not a power of two.
+pub fn fft_pow2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft_pow2 requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for x in buf {
+            *x = x.scale(inv);
+        }
+    }
+}
+
+/// FFT of arbitrary length: radix-2 when possible, otherwise Bluestein's
+/// chirp-z transform (which reduces to three power-of-two FFTs).
+pub fn fft(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf, inverse);
+        return buf;
+    }
+    bluestein(input, inverse)
+}
+
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+
+    // Chirps: w_k = e^{sign·iπk²/n}.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k² mod 2n to keep the angle small and accurate.
+            let k2 = (k as u64 * k as u64) % (2 * n as u64);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        b[k] = chirp[k].conj();
+        b[m - k] = chirp[k].conj();
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_pow2(&mut a, true);
+
+    let mut out: Vec<Complex> = (0..n).map(|k| a[k] * chirp[k]).collect();
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for x in &mut out {
+            *x = x.scale(inv);
+        }
+    }
+    out
+}
+
+/// Forward FFT of a real signal.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&buf, false)
+}
+
+/// Circular convolution of two equal-length real sequences via FFT.
+///
+/// # Panics
+/// If lengths differ.
+pub fn circular_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "circular convolution length mismatch");
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let fa = fft_real(a);
+    let fb = fft_real(b);
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    fft(&prod, true).into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!((a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!((-a), Complex::new(-1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_pow2(&mut x, false);
+        for c in &x {
+            assert_close(*c, Complex::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut x = vec![Complex::new(2.0, 0.0); 8];
+        fft_pow2(&mut x, false);
+        assert_close(x[0], Complex::new(16.0, 0.0), 1e-12);
+        for c in &x[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_single_tone_peaks_at_right_bin() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos(), 0.0))
+            .collect();
+        let y = fft(&x, false);
+        let mags: Vec<f64> = y.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    fn roundtrip_pow2() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let y = fft(&x, false);
+        let z = fft(&y, true);
+        for (a, b) in x.iter().zip(&z) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_bluestein_odd_lengths() {
+        for n in [3usize, 5, 7, 12, 15, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.1).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let y = fft(&x, false);
+            let z = fft(&y, true);
+            for (a, b) in x.iter().zip(&z) {
+                assert_close(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        let n = 10;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let y = fft(&x, false);
+        for (k, &yk) in y.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc + xj * Complex::cis(ang);
+            }
+            assert_close(yk, acc, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.21).sin() * 3.0).collect();
+        let y = fft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = y.iter().map(|c| c.norm_sq()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn circular_convolution_with_delta_is_identity() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut delta = vec![0.0; 4];
+        delta[0] = 1.0;
+        let y = circular_convolution(&x, &delta);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(fft(&[], false).is_empty());
+        assert!(circular_convolution(&[], &[]).is_empty());
+    }
+}

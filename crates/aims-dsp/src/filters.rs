@@ -1,0 +1,280 @@
+//! Orthonormal wavelet filter bank.
+//!
+//! AIMS stores immersidata as wavelet coefficients (paper §3.1.1) and
+//! evaluates polynomial range-sums in the wavelet domain (§3.3). The choice
+//! of filter matters: ProPolyne needs a filter whose wavelet has enough
+//! *vanishing moments* for the query's polynomial degree, so that query
+//! coefficients vanish away from range boundaries. This module provides the
+//! standard orthonormal Daubechies family (Haar = D2 through D8) plus the
+//! quadrature-mirror construction of the highpass filter.
+
+use crate::poly::Polynomial;
+
+/// An orthonormal two-channel wavelet filter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaveletFilter {
+    name: &'static str,
+    lowpass: Vec<f64>,
+    highpass: Vec<f64>,
+}
+
+/// Identifies the stock filters shipped with the crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterKind {
+    /// Haar / Daubechies-2: 2 taps, 1 vanishing moment (constants only).
+    Haar,
+    /// Daubechies-4: 4 taps, 2 vanishing moments (up to linear measures).
+    Db4,
+    /// Daubechies-6: 6 taps, 3 vanishing moments (up to quadratic measures).
+    Db6,
+    /// Daubechies-8: 8 taps, 4 vanishing moments (up to cubic measures).
+    Db8,
+}
+
+impl FilterKind {
+    /// All stock filters, shortest first.
+    pub const ALL: [FilterKind; 4] = [FilterKind::Haar, FilterKind::Db4, FilterKind::Db6, FilterKind::Db8];
+
+    /// Materializes the filter coefficients.
+    pub fn filter(self) -> WaveletFilter {
+        match self {
+            FilterKind::Haar => WaveletFilter::haar(),
+            FilterKind::Db4 => WaveletFilter::db4(),
+            FilterKind::Db6 => WaveletFilter::db6(),
+            FilterKind::Db8 => WaveletFilter::db8(),
+        }
+    }
+
+    /// The shortest stock filter with at least `moments` vanishing moments —
+    /// ProPolyne's "appropriate moment condition" for polynomial measures of
+    /// degree `moments − 1`.
+    pub fn with_vanishing_moments(moments: usize) -> Option<FilterKind> {
+        Self::ALL.into_iter().find(|k| k.filter().vanishing_moments() >= moments)
+    }
+}
+
+impl WaveletFilter {
+    fn from_lowpass(name: &'static str, lowpass: Vec<f64>) -> Self {
+        let l = lowpass.len();
+        // Quadrature mirror: g[n] = (−1)ⁿ h[L−1−n].
+        let highpass = (0..l)
+            .map(|n| if n % 2 == 0 { lowpass[l - 1 - n] } else { -lowpass[l - 1 - n] })
+            .collect();
+        WaveletFilter { name, lowpass, highpass }
+    }
+
+    /// Haar filter (D2).
+    pub fn haar() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Self::from_lowpass("haar", vec![s, s])
+    }
+
+    /// Daubechies-4 filter.
+    pub fn db4() -> Self {
+        let s3 = 3.0_f64.sqrt();
+        let d = 4.0 * 2.0_f64.sqrt();
+        Self::from_lowpass(
+            "db4",
+            vec![(1.0 + s3) / d, (3.0 + s3) / d, (3.0 - s3) / d, (1.0 - s3) / d],
+        )
+    }
+
+    /// Daubechies-6 filter, from its closed form: with `a = √10` and
+    /// `b = √(5 + 2√10)`, the taps are `(1+a±b)/16√2` etc., exact to
+    /// machine precision.
+    pub fn db6() -> Self {
+        let a = 10.0_f64.sqrt();
+        let b = (5.0 + 2.0 * a).sqrt();
+        let d = 16.0 * 2.0_f64.sqrt();
+        Self::from_lowpass(
+            "db6",
+            vec![
+                (1.0 + a + b) / d,
+                (5.0 + a + 3.0 * b) / d,
+                (10.0 - 2.0 * a + 2.0 * b) / d,
+                (10.0 - 2.0 * a - 2.0 * b) / d,
+                (5.0 + a - 3.0 * b) / d,
+                (1.0 + a - b) / d,
+            ],
+        )
+    }
+
+    /// Daubechies-8 filter.
+    pub fn db8() -> Self {
+        Self::from_lowpass(
+            "db8",
+            vec![
+                0.23037781330885523,
+                0.714_846_570_552_541_5,
+                0.630_880_767_929_590_4,
+                -0.02798376941698385,
+                -0.18703481171888114,
+                0.03084138183598697,
+                0.03288301166698295,
+                -0.01059740178499728,
+            ],
+        )
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.lowpass.len()
+    }
+
+    /// Filters are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lowpass (scaling) coefficients.
+    pub fn lowpass(&self) -> &[f64] {
+        &self.lowpass
+    }
+
+    /// Highpass (wavelet) coefficients.
+    pub fn highpass(&self) -> &[f64] {
+        &self.highpass
+    }
+
+    /// Vanishing moments of the wavelet: `taps / 2` for the Daubechies
+    /// family. The highpass filter annihilates polynomial sequences of
+    /// degree `< vanishing_moments()`.
+    pub fn vanishing_moments(&self) -> usize {
+        self.lowpass.len() / 2
+    }
+
+    /// Discrete moment `Σₘ c[m]·mᵗ` of either channel.
+    pub fn moment(&self, highpass: bool, t: usize) -> f64 {
+        let taps = if highpass { &self.highpass } else { &self.lowpass };
+        taps.iter()
+            .enumerate()
+            .map(|(m, &c)| c * (m as f64).powi(t as i32))
+            .sum()
+    }
+
+    /// Symbolically filters a polynomial sequence and downsamples: returns
+    /// the polynomial `q` with `q(k) = Σₘ c[m] · p(2k + m)`.
+    ///
+    /// This is the exact step the lazy wavelet transform applies to the
+    /// polynomial interior of a range-sum query vector. For the highpass
+    /// channel and `p.degree() < vanishing_moments()`, the result is the
+    /// zero polynomial (up to rounding).
+    pub fn filter_polynomial(&self, highpass: bool, p: &Polynomial) -> Polynomial {
+        let taps = if highpass { &self.highpass } else { &self.lowpass };
+        let mut q = Polynomial::zero();
+        for (m, &c) in taps.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            q = q.add(&p.compose_affine(2.0, m as f64).scale(c));
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_filters() -> Vec<WaveletFilter> {
+        FilterKind::ALL.iter().map(|k| k.filter()).collect()
+    }
+
+    #[test]
+    fn lowpass_sums_to_sqrt2() {
+        for f in all_filters() {
+            let sum: f64 = f.lowpass().iter().sum();
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-10,
+                "{}: lowpass sum {sum}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn filters_are_orthonormal() {
+        for f in all_filters() {
+            let h = f.lowpass();
+            let l = h.len();
+            // Unit energy.
+            let e: f64 = h.iter().map(|x| x * x).sum();
+            assert!((e - 1.0).abs() < 1e-10, "{}: energy {e}", f.name());
+            // Orthogonality to even shifts.
+            for shift in (2..l).step_by(2) {
+                let dot: f64 = (0..l - shift).map(|i| h[i] * h[i + shift]).sum();
+                assert!(dot.abs() < 1e-10, "{}: shift {shift} dot {dot}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn highpass_sums_to_zero() {
+        for f in all_filters() {
+            let sum: f64 = f.highpass().iter().sum();
+            assert!(sum.abs() < 1e-10, "{}: highpass sum {sum}", f.name());
+        }
+    }
+
+    #[test]
+    fn highpass_annihilates_low_degree_polynomials() {
+        for f in all_filters() {
+            let vm = f.vanishing_moments();
+            for deg in 0..vm {
+                let p = Polynomial::monomial(deg);
+                let q = f.filter_polynomial(true, &p);
+                assert!(
+                    q.is_negligible(1e-8),
+                    "{}: degree {deg} not annihilated: {q:?}",
+                    f.name()
+                );
+            }
+            // One degree higher must NOT vanish (sharpness of the moment
+            // condition — this is why Haar fails on linear measures).
+            let p = Polynomial::monomial(vm);
+            let q = f.filter_polynomial(true, &p);
+            assert!(!q.is_negligible(1e-8), "{}: degree {vm} unexpectedly annihilated", f.name());
+        }
+    }
+
+    #[test]
+    fn filter_polynomial_matches_pointwise() {
+        let f = WaveletFilter::db4();
+        let p = Polynomial::from_coeffs(vec![1.0, -0.5, 0.25]);
+        let q = f.filter_polynomial(false, &p);
+        for k in 0..8 {
+            let direct: f64 = f
+                .lowpass()
+                .iter()
+                .enumerate()
+                .map(|(m, &c)| c * p.eval((2 * k + m) as f64))
+                .sum();
+            assert!((q.eval(k as f64) - direct).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn moment_helper_consistency() {
+        let f = WaveletFilter::db6();
+        // t = 0 moments: lowpass = √2, highpass = 0.
+        assert!((f.moment(false, 0) - std::f64::consts::SQRT_2).abs() < 1e-10);
+        assert!(f.moment(true, 0).abs() < 1e-10);
+        // db6 has 3 vanishing moments: t=1,2 highpass moments also vanish.
+        assert!(f.moment(true, 1).abs() < 1e-8);
+        assert!(f.moment(true, 2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn with_vanishing_moments_selects_shortest() {
+        assert_eq!(FilterKind::with_vanishing_moments(1), Some(FilterKind::Haar));
+        assert_eq!(FilterKind::with_vanishing_moments(2), Some(FilterKind::Db4));
+        assert_eq!(FilterKind::with_vanishing_moments(3), Some(FilterKind::Db6));
+        assert_eq!(FilterKind::with_vanishing_moments(4), Some(FilterKind::Db8));
+        assert_eq!(FilterKind::with_vanishing_moments(5), None);
+    }
+}

@@ -1,0 +1,300 @@
+//! Canonical Huffman block coder.
+//!
+//! The acquisition study behind AIMS (paper §3.1) compares adaptive sampling
+//! against "a block-based compression technique, e.g., Unix zip software
+//! (based on Hoffman coding)". This module is that baseline: a from-scratch
+//! canonical Huffman coder over quantized sample codes, with a bit-exact
+//! round trip and an honest encoded-size accounting (code table included).
+
+use std::collections::BinaryHeap;
+
+/// A Huffman-encoded symbol block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HuffmanEncoded {
+    /// Code length (bits) per symbol value; zero for unused symbols.
+    /// Index = symbol value.
+    pub code_lengths: Vec<u8>,
+    /// Number of encoded symbols.
+    pub len: usize,
+    /// The packed bitstream.
+    pub bits: Vec<u8>,
+}
+
+impl HuffmanEncoded {
+    /// Encoded size in bytes: bitstream plus the canonical code-length
+    /// table (1 byte per possible symbol) plus an 8-byte length header.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() + self.code_lengths.len() + 8
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapNode {
+    weight: u64,
+    // Tie-break on id for determinism.
+    id: usize,
+    node: usize,
+}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap.
+        other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes canonical Huffman code lengths for the given symbol
+/// frequencies. Returns a length per symbol (0 = unused). A single distinct
+/// symbol gets length 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let mut lengths = vec![0u8; freqs.len()];
+    let used: Vec<usize> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Build the tree: parents[] over an arena of nodes. Leaves are
+    // 0..used.len(); internal nodes follow.
+    let n_leaves = used.len();
+    let mut parent = vec![usize::MAX; 2 * n_leaves - 1];
+    let mut heap = BinaryHeap::new();
+    for (leaf, &sym) in used.iter().enumerate() {
+        heap.push(HeapNode { weight: freqs[sym], id: leaf, node: leaf });
+    }
+    let mut next = n_leaves;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        parent[a.node] = next;
+        parent[b.node] = next;
+        heap.push(HeapNode { weight: a.weight + b.weight, id: next, node: next });
+        next += 1;
+    }
+
+    for (leaf, &sym) in used.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth;
+    }
+    lengths
+}
+
+/// Assigns canonical codes from code lengths: symbols sorted by (length,
+/// value) receive consecutive codes. Returns `(code, length)` per symbol.
+fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = vec![(0u32, 0u8); lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &s in &symbols {
+        let l = lengths[s];
+        code <<= l - prev_len;
+        codes[s] = (code, l);
+        code += 1;
+        prev_len = l;
+    }
+    codes
+}
+
+/// Encodes a symbol sequence (values must fit the given alphabet size).
+///
+/// # Panics
+/// If a symbol is out of the alphabet range.
+pub fn encode(symbols: &[u16], alphabet: usize) -> HuffmanEncoded {
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        assert!((s as usize) < alphabet, "symbol {s} outside alphabet {alphabet}");
+        freqs[s as usize] += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let codes = canonical_codes(&lengths);
+
+    let mut bits = Vec::new();
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &s in symbols {
+        let (code, l) = codes[s as usize];
+        acc = (acc << l) | code as u64;
+        nbits += l as u32;
+        while nbits >= 8 {
+            bits.push(((acc >> (nbits - 8)) & 0xFF) as u8);
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        bits.push(((acc << (8 - nbits)) & 0xFF) as u8);
+    }
+    HuffmanEncoded { code_lengths: lengths, len: symbols.len(), bits }
+}
+
+/// Decodes a Huffman block back to its symbol sequence.
+///
+/// # Panics
+/// If the bitstream is malformed (truncated or containing an invalid code).
+pub fn decode(encoded: &HuffmanEncoded) -> Vec<u16> {
+    let codes = canonical_codes(&encoded.code_lengths);
+    // Invert: (length, code) → symbol via sorted lookup.
+    let mut by_code: Vec<(u8, u32, u16)> = codes
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, l))| l > 0)
+        .map(|(s, &(c, l))| (l, c, s as u16))
+        .collect();
+    by_code.sort_unstable();
+
+    let mut out = Vec::with_capacity(encoded.len);
+    let mut code: u32 = 0;
+    let mut len: u8 = 0;
+    let mut bit_iter = encoded
+        .bits
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1));
+    while out.len() < encoded.len {
+        let bit = bit_iter.next().expect("truncated Huffman bitstream");
+        code = (code << 1) | bit as u32;
+        len += 1;
+        // Canonical codes are prefix-free; a (len, code) pair identifies at
+        // most one symbol. Search for the first entry with that prefix.
+        let idx = by_code.partition_point(|&(l, c, _)| (l, c) < (len, code));
+        if idx < by_code.len() && by_code[idx].0 == len && by_code[idx].1 == code {
+            out.push(by_code[idx].2);
+            code = 0;
+            len = 0;
+        } else {
+            assert!(len < 32, "invalid Huffman code in bitstream");
+        }
+    }
+    out
+}
+
+/// Convenience: entropy (bits/symbol) of a frequency table — the lower
+/// bound Huffman approaches.
+pub fn entropy_bits(freqs: &[u64]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    freqs
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let symbols: Vec<u16> = vec![0, 1, 1, 2, 2, 2, 2, 3];
+        let enc = encode(&symbols, 4);
+        assert_eq!(decode(&enc), symbols);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let symbols = vec![5u16; 100];
+        let enc = encode(&symbols, 8);
+        assert_eq!(decode(&enc), symbols);
+        // 1 bit per symbol → ~13 bytes of bitstream.
+        assert!(enc.bits.len() <= 13);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let enc = encode(&[], 4);
+        assert!(decode(&enc).is_empty());
+        assert!(enc.bits.is_empty());
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_well() {
+        // 90% zeros.
+        let mut symbols = vec![0u16; 900];
+        for i in 0..100 {
+            symbols.push((1 + i % 15) as u16);
+        }
+        let enc = encode(&symbols, 16);
+        assert_eq!(decode(&enc), symbols);
+        // Entropy ≈ 0.47 + small; Huffman should beat 4 bits/symbol easily.
+        let bits_per_symbol = (enc.bits.len() * 8) as f64 / symbols.len() as f64;
+        assert!(bits_per_symbol < 2.0, "bits/symbol {bits_per_symbol}");
+    }
+
+    #[test]
+    fn uniform_distribution_near_log2() {
+        let symbols: Vec<u16> = (0..1024u16).map(|i| i % 16).collect();
+        let enc = encode(&symbols, 16);
+        assert_eq!(decode(&enc), symbols);
+        let bits_per_symbol = (enc.bits.len() * 8) as f64 / symbols.len() as f64;
+        assert!((bits_per_symbol - 4.0).abs() < 0.1, "bits/symbol {bits_per_symbol}");
+    }
+
+    #[test]
+    fn code_lengths_satisfy_kraft() {
+        let freqs = vec![50u64, 30, 10, 5, 3, 1, 1, 0];
+        let lengths = code_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "Kraft sum {kraft}");
+        assert_eq!(lengths[7], 0);
+    }
+
+    #[test]
+    fn average_length_within_one_bit_of_entropy() {
+        let freqs = vec![400u64, 200, 150, 100, 80, 40, 20, 10];
+        let lengths = code_lengths(&freqs);
+        let total: u64 = freqs.iter().sum();
+        let avg: f64 = freqs
+            .iter()
+            .zip(&lengths)
+            .map(|(&f, &l)| f as f64 * l as f64)
+            .sum::<f64>()
+            / total as f64;
+        let h = entropy_bits(&freqs);
+        assert!(avg >= h - 1e-9, "avg {avg} < entropy {h}");
+        assert!(avg < h + 1.0, "avg {avg} ≥ entropy+1 {h}");
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let symbols: Vec<u16> = (0..500u16).map(|i| (i * 7) % 32).collect();
+        let a = encode(&symbols, 32);
+        let b = encode(&symbols, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn out_of_alphabet_panics() {
+        encode(&[9], 8);
+    }
+}

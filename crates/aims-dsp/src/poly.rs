@@ -1,0 +1,244 @@
+//! Dense univariate polynomials over `f64`.
+//!
+//! ProPolyne's lazy wavelet transform (paper §3.3) works because the
+//! low-pass filtering of a polynomial sequence is again a polynomial
+//! sequence of the same degree; tracking those polynomials symbolically is
+//! what makes the transform polylogarithmic. This module provides exactly
+//! the polynomial arithmetic that bookkeeping needs.
+
+use std::fmt;
+
+/// A polynomial `c₀ + c₁x + c₂x² + …` stored as its coefficient vector.
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// constructors trim trailing (near-)zero coefficients so representations
+/// are canonical.
+#[derive(Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+/// Coefficients smaller than this (relative to the largest coefficient) are
+/// trimmed from the high end during canonicalization.
+const TRIM_EPS: f64 = 0.0;
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        if c == 0.0 {
+            Self::zero()
+        } else {
+            Polynomial { coeffs: vec![c] }
+        }
+    }
+
+    /// The monomial `xᵈ`.
+    pub fn monomial(d: usize) -> Self {
+        let mut coeffs = vec![0.0; d + 1];
+        coeffs[d] = 1.0;
+        Polynomial { coeffs }
+    }
+
+    /// Builds a polynomial from low-to-high coefficients, trimming trailing
+    /// zeros.
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    fn trim(&mut self) {
+        while let Some(&last) = self.coeffs.last() {
+            if last.abs() <= TRIM_EPS {
+                self.coeffs.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `true` when every coefficient is at most `tol` in magnitude.
+    pub fn is_negligible(&self, tol: f64) -> bool {
+        self.coeffs.iter().all(|c| c.abs() <= tol)
+    }
+
+    /// Low-to-high coefficient slice.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Adds another polynomial.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::from_coeffs(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Composition with an affine map: returns `q(x) = p(a·x + b)`.
+    ///
+    /// This is the workhorse of the lazy wavelet transform: filtering a
+    /// polynomial sequence and downsampling composes the polynomial with
+    /// `2k + m`.
+    pub fn compose_affine(&self, a: f64, b: f64) -> Polynomial {
+        // Horner-style: p(ax+b) = c_n·(ax+b)^n + … built incrementally.
+        let mut result = Polynomial::zero();
+        let affine = Polynomial::from_coeffs(vec![b, a]);
+        for &c in self.coeffs.iter().rev() {
+            result = result.mul(&affine).add(&Polynomial::constant(c));
+        }
+        result
+    }
+
+    /// Sum over an integer range: `Σ_{i=lo}^{hi} p(i)` (inclusive), computed
+    /// by direct evaluation. Range-sum queries over small explicit segments
+    /// use this.
+    pub fn sum_over(&self, lo: i64, hi: i64) -> f64 {
+        (lo..=hi).map(|i| self.eval(i as f64)).sum()
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0.0)
+            .map(|(i, c)| match i {
+                0 => format!("{c:.4}"),
+                1 => format!("{c:.4}x"),
+                _ => format!("{c:.4}x^{i}"),
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_monomial() {
+        assert!(Polynomial::constant(0.0).is_zero());
+        let p = Polynomial::monomial(3);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.eval(2.0), 8.0);
+    }
+
+    #[test]
+    fn trim_trailing_zeros() {
+        let p = Polynomial::from_coeffs(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert!(Polynomial::from_coeffs(vec![0.0, 0.0]).is_zero());
+    }
+
+    #[test]
+    fn eval_by_horner() {
+        // 1 - 2x + 3x²  at x=2 → 1 - 4 + 12 = 9
+        let p = Polynomial::from_coeffs(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.eval(2.0), 9.0);
+        assert_eq!(p.eval(0.0), 1.0);
+    }
+
+    #[test]
+    fn add_scale_mul() {
+        let p = Polynomial::from_coeffs(vec![1.0, 1.0]); // 1 + x
+        let q = Polynomial::from_coeffs(vec![-1.0, 1.0]); // -1 + x
+        assert_eq!(p.add(&q).coeffs(), &[0.0, 2.0]);
+        assert_eq!(p.scale(3.0).coeffs(), &[3.0, 3.0]);
+        // (1+x)(x-1) = x² - 1
+        assert_eq!(p.mul(&q).coeffs(), &[-1.0, 0.0, 1.0]);
+        assert!(p.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn add_cancellation_trims() {
+        let p = Polynomial::from_coeffs(vec![0.0, 0.0, 1.0]);
+        let q = p.scale(-1.0);
+        assert!(p.add(&q).is_zero());
+    }
+
+    #[test]
+    fn compose_affine_matches_pointwise() {
+        let p = Polynomial::from_coeffs(vec![2.0, -1.0, 0.5, 1.0]);
+        let q = p.compose_affine(2.0, 3.0);
+        for x in [-2.0, -0.5, 0.0, 1.0, 4.0] {
+            let expect = p.eval(2.0 * x + 3.0);
+            assert!((q.eval(x) - expect).abs() < 1e-9, "x={x}");
+        }
+        assert_eq!(q.degree(), 3);
+    }
+
+    #[test]
+    fn compose_affine_identity() {
+        let p = Polynomial::from_coeffs(vec![1.0, 2.0, 3.0]);
+        let q = p.compose_affine(1.0, 0.0);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn sum_over_known_ranges() {
+        let x = Polynomial::monomial(1);
+        assert_eq!(x.sum_over(1, 10), 55.0);
+        let x2 = Polynomial::monomial(2);
+        assert_eq!(x2.sum_over(1, 5), 55.0); // 1+4+9+16+25
+        assert_eq!(Polynomial::constant(2.0).sum_over(0, 4), 10.0);
+    }
+
+    #[test]
+    fn is_negligible_threshold() {
+        let p = Polynomial::from_coeffs(vec![1e-12, -1e-13]);
+        assert!(p.is_negligible(1e-11));
+        assert!(!p.is_negligible(1e-13));
+    }
+}

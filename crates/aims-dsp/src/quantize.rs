@@ -1,0 +1,199 @@
+//! Uniform scalar quantization.
+//!
+//! The acquisition studies behind AIMS (paper §3.1, refs [27, 29]) compare
+//! sampling strategies against quantization-based compression (ADPCM) and
+//! block compression (zip). Both codecs need a scalar quantizer mapping
+//! `f64` samples onto small integer alphabets; this module provides the
+//! uniform mid-rise quantizer they share.
+
+/// A uniform scalar quantizer over a closed range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformQuantizer {
+    min: f64,
+    max: f64,
+    levels: u32,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer with `levels` reconstruction levels spanning
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    /// If `min >= max` is violated in a way that leaves no width (`min >
+    /// max`), or `levels < 2`.
+    pub fn new(min: f64, max: f64, levels: u32) -> Self {
+        assert!(levels >= 2, "need at least 2 quantization levels");
+        assert!(min <= max, "min {min} must not exceed max {max}");
+        UniformQuantizer { min, max, levels }
+    }
+
+    /// Builds a quantizer covering the extent of `signal` with `bits` bits
+    /// per sample. A constant signal gets a degenerate-but-valid unit-width
+    /// range centred on its value.
+    ///
+    /// # Panics
+    /// If the signal is empty or `bits` is 0 or > 16.
+    pub fn fit(signal: &[f64], bits: u32) -> Self {
+        assert!(!signal.is_empty(), "cannot fit a quantizer to an empty signal");
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in signal {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if max - min < 1e-12 {
+            min -= 0.5;
+            max += 0.5;
+        }
+        UniformQuantizer::new(min, max, 1 << bits)
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Bits needed per code.
+    pub fn bits_per_sample(&self) -> u32 {
+        (32 - (self.levels - 1).leading_zeros()).max(1)
+    }
+
+    /// Quantization step width.
+    pub fn step(&self) -> f64 {
+        (self.max - self.min) / self.levels as f64
+    }
+
+    /// Quantizes one sample to a code in `0..levels`, clamping out-of-range
+    /// inputs.
+    pub fn encode(&self, x: f64) -> u16 {
+        let t = ((x - self.min) / (self.max - self.min)).clamp(0.0, 1.0);
+        let code = (t * self.levels as f64) as u32;
+        code.min(self.levels - 1) as u16
+    }
+
+    /// Reconstructs the mid-point value of a code.
+    pub fn decode(&self, code: u16) -> f64 {
+        let c = (code as u32).min(self.levels - 1);
+        self.min + (c as f64 + 0.5) * self.step()
+    }
+
+    /// Quantizes a whole signal.
+    pub fn encode_signal(&self, signal: &[f64]) -> Vec<u16> {
+        signal.iter().map(|&x| self.encode(x)).collect()
+    }
+
+    /// Dequantizes a whole code sequence.
+    pub fn decode_signal(&self, codes: &[u16]) -> Vec<f64> {
+        codes.iter().map(|&c| self.decode(c)).collect()
+    }
+}
+
+/// Root-mean-square error between two equal-length signals.
+///
+/// # Panics
+/// If lengths differ.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Signal-to-noise ratio in dB of a reconstruction `b` of `a`; returns
+/// `f64::INFINITY` for a perfect reconstruction.
+pub fn snr_db(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "snr length mismatch");
+    let signal: f64 = a.iter().map(|x| x * x).sum();
+    let noise: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    if noise <= 1e-300 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_midpoints() {
+        let q = UniformQuantizer::new(0.0, 4.0, 4);
+        assert_eq!(q.step(), 1.0);
+        assert_eq!(q.encode(0.1), 0);
+        assert_eq!(q.encode(3.9), 3);
+        assert_eq!(q.decode(0), 0.5);
+        assert_eq!(q.decode(3), 3.5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let q = UniformQuantizer::new(-1.0, 1.0, 8);
+        assert_eq!(q.encode(-5.0), 0);
+        assert_eq!(q.encode(5.0), 7);
+        assert_eq!(q.decode(200), q.decode(7));
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let q = UniformQuantizer::new(-2.0, 2.0, 256);
+        for i in 0..1000 {
+            let x = -2.0 + 4.0 * i as f64 / 999.0;
+            let err = (q.decode(q.encode(x)) - x).abs();
+            assert!(err <= q.step() / 2.0 + 1e-12, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn fit_covers_signal() {
+        let signal = vec![-3.0, 0.0, 7.0, 2.0];
+        let q = UniformQuantizer::fit(&signal, 8);
+        assert_eq!(q.levels(), 256);
+        assert_eq!(q.bits_per_sample(), 8);
+        let codes = q.encode_signal(&signal);
+        let back = q.decode_signal(&codes);
+        for (x, y) in signal.iter().zip(&back) {
+            assert!((x - y).abs() <= q.step(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fit_constant_signal() {
+        let q = UniformQuantizer::fit(&[5.0; 10], 4);
+        let back = q.decode(q.encode(5.0));
+        assert!((back - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let signal: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut prev = f64::INFINITY;
+        for bits in [2, 4, 8, 12] {
+            let q = UniformQuantizer::fit(&signal, bits);
+            let rec = q.decode_signal(&q.encode_signal(&signal));
+            let e = rmse(&signal, &rec);
+            assert!(e < prev, "bits={bits}: {e} !< {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn snr_and_rmse_sanity() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(snr_db(&a, &a), f64::INFINITY);
+        let b = vec![1.1, 2.1, 3.1];
+        assert!((rmse(&a, &b) - 0.1).abs() < 1e-12);
+        assert!(snr_db(&a, &b) > 20.0);
+        assert!(rmse(&[], &[]) == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_level_panics() {
+        UniformQuantizer::new(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Spectral analysis and Nyquist-rate estimation.
+//!
+//! The acquisition subsystem of AIMS (paper §3.1) bases its sampling
+//! techniques on the Nyquist theorem: `r_nyquist = 2·f_max`, where `f_max`
+//! is "the maximum frequency in the signal … within a specified confidence
+//! threshold", identified with "the standard discrete Fourier transform,
+//! auto-correlation, and minimum square error techniques". This module
+//! implements all three estimators plus the supporting periodogram and
+//! windowing machinery.
+
+use crate::fft::{fft, fft_real, Complex};
+
+/// One-sided power spectral density estimate (periodogram).
+#[derive(Clone, Debug)]
+pub struct Periodogram {
+    /// Power at each frequency bin (bin 0 = DC).
+    pub power: Vec<f64>,
+    /// Frequency (Hz) of each bin.
+    pub freqs: Vec<f64>,
+    /// Sampling rate (Hz) of the analyzed signal.
+    pub sample_rate: f64,
+}
+
+/// Hann window of length `n`.
+pub fn hann_window(n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            (x.sin()) * (x.sin())
+        })
+        .collect()
+}
+
+/// Computes the one-sided periodogram of `signal` sampled at `sample_rate`
+/// Hz, after mean removal and Hann windowing.
+///
+/// # Panics
+/// If the signal is empty or the rate is not positive.
+pub fn periodogram(signal: &[f64], sample_rate: f64) -> Periodogram {
+    assert!(!signal.is_empty(), "cannot analyze an empty signal");
+    assert!(sample_rate > 0.0, "sample rate must be positive");
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let window = hann_window(n);
+    let windowed: Vec<f64> = signal
+        .iter()
+        .zip(&window)
+        .map(|(&x, &w)| (x - mean) * w)
+        .collect();
+    let spec = fft_real(&windowed);
+    let half = n / 2 + 1;
+    let power: Vec<f64> = spec[..half].iter().map(|c| c.norm_sq() / n as f64).collect();
+    let freqs: Vec<f64> = (0..half).map(|k| k as f64 * sample_rate / n as f64).collect();
+    Periodogram { power, freqs, sample_rate }
+}
+
+impl Periodogram {
+    /// Total power across bins.
+    pub fn total_power(&self) -> f64 {
+        self.power.iter().sum()
+    }
+
+    /// The smallest frequency `f` such that the cumulative power up to `f`
+    /// is at least `confidence` (e.g. `0.99`) of the total. This is the
+    /// paper's "f_max within a specified confidence threshold". Returns
+    /// `0.0` for an (effectively) silent signal.
+    pub fn max_frequency(&self, confidence: f64) -> f64 {
+        let total = self.total_power();
+        if total <= 1e-300 {
+            return 0.0;
+        }
+        let target = confidence.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0;
+        for (p, f) in self.power.iter().zip(&self.freqs) {
+            acc += p;
+            if acc >= target {
+                return *f;
+            }
+        }
+        *self.freqs.last().unwrap()
+    }
+}
+
+/// Biased sample autocorrelation `r[l] = (1/n) Σ x[i]·x[i+l]` for lags
+/// `0..max_lag`, computed in O(n log n) via the Wiener–Khinchin theorem.
+///
+/// # Panics
+/// If the signal is empty.
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!signal.is_empty(), "cannot autocorrelate an empty signal");
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    // Zero-pad to 2n to make linear correlation out of circular convolution.
+    let m = (2 * n).next_power_of_two();
+    let mut buf = vec![Complex::ZERO; m];
+    for (i, &x) in signal.iter().enumerate() {
+        buf[i] = Complex::new(x - mean, 0.0);
+    }
+    let spec = fft(&buf, false);
+    let power: Vec<Complex> = spec.iter().map(|c| Complex::new(c.norm_sq(), 0.0)).collect();
+    let corr = fft(&power, true);
+    (0..max_lag.min(n)).map(|l| corr[l].re / n as f64).collect()
+}
+
+/// Estimates the dominant period (in samples) from the first major
+/// autocorrelation peak after the zero-lag peak. Returns `None` when the
+/// signal has no significant periodicity (relative peak below `threshold`).
+pub fn dominant_period(signal: &[f64], threshold: f64) -> Option<usize> {
+    let max_lag = signal.len() / 2;
+    if max_lag < 3 {
+        return None;
+    }
+    let r = autocorrelation(signal, max_lag);
+    let r0 = r[0];
+    if r0 <= 1e-300 {
+        return None;
+    }
+    // Skip the initial decay, then take the first local maximum above the
+    // threshold.
+    let mut lag = 1;
+    while lag + 1 < r.len() && r[lag] > r[lag + 1] {
+        lag += 1;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for l in lag..r.len().saturating_sub(1) {
+        if r[l] >= r[l - 1] && r[l] >= r[l + 1] && r[l] / r0 >= threshold {
+            match best {
+                Some((_, v)) if v >= r[l] => {}
+                _ => best = Some((l, r[l])),
+            }
+            // First qualifying peak is the fundamental.
+            break;
+        }
+    }
+    best.map(|(l, _)| l)
+}
+
+/// Estimator selector for [`estimate_nyquist_rate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FmaxEstimator {
+    /// Cumulative-energy threshold on the periodogram (DFT technique).
+    Dft,
+    /// Autocorrelation dominant-period technique.
+    Autocorrelation,
+    /// Minimum-square-error subsampling search: the smallest rate whose
+    /// linear-interpolation reconstruction stays below the error budget.
+    MinSquareError,
+}
+
+/// Estimates the Nyquist sampling rate `2·f_max` (Hz) for a signal sampled
+/// at `sample_rate`, using the selected technique with confidence/tolerance
+/// `confidence` (interpretation per estimator: cumulative-energy fraction
+/// for DFT, relative peak for autocorrelation, relative RMSE budget for
+/// MSE).
+pub fn estimate_nyquist_rate(
+    signal: &[f64],
+    sample_rate: f64,
+    estimator: FmaxEstimator,
+    confidence: f64,
+) -> f64 {
+    match estimator {
+        FmaxEstimator::Dft => {
+            let p = periodogram(signal, sample_rate);
+            2.0 * p.max_frequency(confidence)
+        }
+        FmaxEstimator::Autocorrelation => match dominant_period(signal, 1.0 - confidence) {
+            Some(period) if period > 0 => 2.0 * sample_rate / period as f64,
+            _ => {
+                // No periodicity found: fall back to the DFT estimate.
+                let p = periodogram(signal, sample_rate);
+                2.0 * p.max_frequency(confidence)
+            }
+        },
+        FmaxEstimator::MinSquareError => mse_minimum_rate(signal, sample_rate, 1.0 - confidence),
+    }
+}
+
+/// Smallest subsampling rate (Hz) such that linear-interpolation
+/// reconstruction of the subsampled signal has relative RMSE at most
+/// `budget` — *above the measurement-noise floor*. White sensor noise is
+/// not reconstructible at any rate (it has no Nyquist bandwidth), so the
+/// error budget is widened by a robust noise estimate (the median absolute
+/// first difference); without this, one noisy low-variance channel would
+/// drag every strategy to the native rate.
+pub fn mse_minimum_rate(signal: &[f64], sample_rate: f64, budget: f64) -> f64 {
+    let n = signal.len();
+    if n < 4 {
+        return sample_rate;
+    }
+    let energy: f64 = {
+        let mean = signal.iter().sum::<f64>() / n as f64;
+        signal.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+    };
+    if energy <= 1e-300 {
+        // A constant signal needs (almost) no samples.
+        return sample_rate / (n / 2) as f64;
+    }
+    // Spectral noise floor: white noise has a flat periodogram, so its
+    // share of the variance is ~(median bin)/(mean bin). A concentrated
+    // signal (even a near-Nyquist tone) has median bin ≈ 0 and gets no
+    // allowance — unlike difference-based noise estimators, which mistake
+    // fast tones for noise.
+    let noise_fraction = {
+        let p = periodogram(signal, sample_rate);
+        let total: f64 = p.power.iter().sum();
+        if total <= 1e-300 || p.power.len() < 4 {
+            0.0
+        } else {
+            let mut bins = p.power.clone();
+            bins.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = bins[bins.len() / 2];
+            (median * p.power.len() as f64 / total).clamp(0.0, 1.0)
+        }
+    };
+    // Interpolation of white noise errs ~1.5σ² per interior sample; give
+    // the budget that much slack — noise is unreconstructible at any rate.
+    let allowed = budget * budget * energy + 2.0 * noise_fraction * energy;
+
+    let accepts = |factor: usize| decimation_error(signal, factor) <= allowed;
+    let mut best = sample_rate;
+    let mut factor = n / 2;
+    while factor >= 1 {
+        if accepts(factor) {
+            best = sample_rate / factor as f64;
+            break;
+        }
+        factor /= 2;
+    }
+    // Refine linearly between the failing factor·2 and the passing factor.
+    if best < sample_rate {
+        let coarse = (sample_rate / best) as usize;
+        for f in (coarse..=(coarse * 2).min(n / 2)).rev() {
+            if accepts(f) {
+                best = sample_rate / f as f64;
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Squared error of reconstructing `signal` from every `factor`-th sample by
+/// linear interpolation.
+pub fn decimation_error(signal: &[f64], factor: usize) -> f64 {
+    let n = signal.len();
+    if factor <= 1 {
+        return 0.0;
+    }
+    let mut err = 0.0;
+    let mut base = 0;
+    while base < n {
+        let next = (base + factor).min(n - 1);
+        let x0 = signal[base];
+        let x1 = signal[next];
+        let span = (next - base).max(1);
+        for (i, &sig) in signal.iter().enumerate().take(next).skip(base + 1) {
+            let t = (i - base) as f64 / span as f64;
+            let interp = x0 + t * (x1 - x0);
+            let d = sig - interp;
+            err += d * d;
+        }
+        if next == n - 1 {
+            break;
+        }
+        base = next;
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
+            .collect()
+    }
+
+    #[test]
+    fn periodogram_peak_at_tone_frequency() {
+        let signal = tone(10.0, 128.0, 512);
+        let p = periodogram(&signal, 128.0);
+        let peak_bin = p
+            .power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((p.freqs[peak_bin] - 10.0).abs() < 0.5, "peak at {}", p.freqs[peak_bin]);
+    }
+
+    #[test]
+    fn max_frequency_bounds_tone() {
+        let signal = tone(8.0, 100.0, 1000);
+        let p = periodogram(&signal, 100.0);
+        let fmax = p.max_frequency(0.99);
+        assert!((7.5..=10.0).contains(&fmax), "fmax {fmax}");
+    }
+
+    #[test]
+    fn max_frequency_of_silence_is_zero() {
+        let p = periodogram(&vec![3.0; 256], 100.0);
+        assert_eq!(p.max_frequency(0.99), 0.0);
+    }
+
+    #[test]
+    fn nyquist_rate_scales_with_signal_bandwidth() {
+        let slow = tone(2.0, 100.0, 1000);
+        let fast = tone(20.0, 100.0, 1000);
+        let r_slow = estimate_nyquist_rate(&slow, 100.0, FmaxEstimator::Dft, 0.99);
+        let r_fast = estimate_nyquist_rate(&fast, 100.0, FmaxEstimator::Dft, 0.99);
+        assert!(r_fast > 3.0 * r_slow, "slow {r_slow}, fast {r_fast}");
+        assert!(r_slow >= 2.0 * 2.0 * 0.8, "r_slow {r_slow} below Nyquist for 2 Hz");
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        let signal = tone(5.0, 100.0, 800); // period = 20 samples
+        let period = dominant_period(&signal, 0.3).expect("period detected");
+        assert!((period as i64 - 20).unsigned_abs() <= 1, "period {period}");
+    }
+
+    #[test]
+    fn autocorrelation_of_noise_has_no_strong_period() {
+        // Deterministic pseudo-noise.
+        let mut state = 12345u64;
+        let noise: Vec<f64> = (0..512)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect();
+        assert_eq!(dominant_period(&noise, 0.5), None);
+    }
+
+    #[test]
+    fn autocorrelation_zero_lag_is_variance() {
+        let x = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let r = autocorrelation(&x, 3);
+        assert!((r[0] - 1.0).abs() < 1e-9, "r0 {}", r[0]);
+        // Biased estimator: r[1] = (1/8)·Σ_{i<7} x_i x_{i+1} = −7/8.
+        assert!((r[1] + 0.875).abs() < 1e-9, "r1 {}", r[1]);
+    }
+
+    #[test]
+    fn mse_rate_low_for_smooth_signal() {
+        let smooth = tone(1.0, 100.0, 1000);
+        let rough = tone(24.0, 100.0, 1000);
+        let r_smooth = mse_minimum_rate(&smooth, 100.0, 0.05);
+        let r_rough = mse_minimum_rate(&rough, 100.0, 0.05);
+        assert!(r_smooth < r_rough, "smooth {r_smooth} rough {r_rough}");
+    }
+
+    #[test]
+    fn mse_estimator_constant_signal() {
+        let rate = mse_minimum_rate(&vec![5.0; 100], 100.0, 0.05);
+        assert!(rate < 5.0, "constant signal should need few samples, got {rate}");
+    }
+
+    #[test]
+    fn decimation_error_zero_for_linear_signal() {
+        let linear: Vec<f64> = (0..100).map(|i| 3.0 * i as f64 + 1.0).collect();
+        assert!(decimation_error(&linear, 10) < 1e-18);
+        assert_eq!(decimation_error(&linear, 1), 0.0);
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(5);
+        assert!((w[0]).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        assert!((w[4]).abs() < 1e-12);
+        assert_eq!(hann_window(1), vec![1.0]);
+        assert!(hann_window(0).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests of the DSP substrate.
+
+use proptest::prelude::*;
+
+use aims_dsp::dwpt::{CostFunction, WaveletPacketTree};
+use aims_dsp::dwt::{dwt_full, idwt_full};
+use aims_dsp::fft::{fft, Complex};
+use aims_dsp::filters::FilterKind;
+use aims_dsp::huffman;
+use aims_dsp::poly::Polynomial;
+use aims_dsp::quantize::UniformQuantizer;
+
+fn filter_strategy() -> impl Strategy<Value = FilterKind> {
+    prop_oneof![
+        Just(FilterKind::Haar),
+        Just(FilterKind::Db4),
+        Just(FilterKind::Db6),
+        Just(FilterKind::Db8),
+    ]
+}
+
+fn pow2_signal() -> impl Strategy<Value = Vec<f64>> {
+    (1u32..=9).prop_flat_map(|log_n| {
+        prop::collection::vec(-100.0_f64..100.0, 1 << log_n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT round-trips arbitrary (including non-power-of-two) lengths.
+    #[test]
+    fn fft_roundtrip(
+        re in prop::collection::vec(-100.0_f64..100.0, 1..200),
+    ) {
+        let input: Vec<Complex> = re.iter().map(|&x| Complex::new(x, -x * 0.5)).collect();
+        let back = fft(&fft(&input, false), true);
+        let scale = re.iter().fold(1.0_f64, |m, x| m.max(x.abs()));
+        for (a, b) in input.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 * scale);
+            prop_assert!((a.im - b.im).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// FFT is linear: F(a·x + y) = a·F(x) + F(y).
+    #[test]
+    fn fft_linearity(
+        x in prop::collection::vec(-10.0_f64..10.0, 16),
+        y in prop::collection::vec(-10.0_f64..10.0, 16),
+        a in -3.0_f64..3.0,
+    ) {
+        let cx: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let cy: Vec<Complex> = y.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mixed: Vec<Complex> = cx.iter().zip(&cy).map(|(u, v)| u.scale(a) + *v).collect();
+        let lhs = fft(&mixed, false);
+        let fx = fft(&cx, false);
+        let fy = fft(&cy, false);
+        for i in 0..16 {
+            let rhs = fx[i].scale(a) + fy[i];
+            prop_assert!((lhs[i].re - rhs.re).abs() < 1e-8);
+            prop_assert!((lhs[i].im - rhs.im).abs() < 1e-8);
+        }
+    }
+
+    /// DWT round-trip + Parseval for every filter and power-of-two length.
+    #[test]
+    fn dwt_roundtrip(signal in pow2_signal(), kind in filter_strategy()) {
+        let f = kind.filter();
+        let coeffs = dwt_full(&signal, &f);
+        let back = idwt_full(&coeffs, &f);
+        let energy: f64 = signal.iter().map(|x| x * x).sum();
+        let cenergy: f64 = coeffs.iter().map(|x| x * x).sum();
+        prop_assert!((energy - cenergy).abs() < 1e-6 * energy.max(1.0));
+        for (a, b) in signal.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * energy.max(1.0).sqrt());
+        }
+    }
+
+    /// DWT is linear.
+    #[test]
+    fn dwt_linearity(
+        x in prop::collection::vec(-50.0_f64..50.0, 64),
+        y in prop::collection::vec(-50.0_f64..50.0, 64),
+        kind in filter_strategy(),
+    ) {
+        let f = kind.filter();
+        let mixed: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a - b).collect();
+        let lhs = dwt_full(&mixed, &f);
+        let fx = dwt_full(&x, &f);
+        let fy = dwt_full(&y, &f);
+        for i in 0..64 {
+            prop_assert!((lhs[i] - (2.0 * fx[i] - fy[i])).abs() < 1e-7);
+        }
+    }
+
+    /// Any DWPT best basis tiles the signal and reconstructs it exactly.
+    #[test]
+    fn dwpt_best_basis_roundtrip(
+        signal in prop::collection::vec(-20.0_f64..20.0, 64),
+        kind in filter_strategy(),
+        cost_pick in 0usize..3,
+    ) {
+        let cost = [
+            CostFunction::ShannonEntropy,
+            CostFunction::L1Norm,
+            CostFunction::ThresholdCount(0.5),
+        ][cost_pick];
+        let tree = WaveletPacketTree::decompose(&signal, &kind.filter(), 4);
+        let basis = tree.best_basis(cost);
+        let total: usize = basis.nodes.iter().map(|&id| tree.node(id).len()).sum();
+        prop_assert_eq!(total, 64);
+        let back = tree.reconstruct(&basis, &tree.coefficients(&basis));
+        for (a, b) in signal.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    /// The best basis never costs more than the leaf or DWT bases.
+    #[test]
+    fn dwpt_best_basis_optimality(
+        signal in prop::collection::vec(-20.0_f64..20.0, 128),
+        kind in filter_strategy(),
+    ) {
+        let cost = CostFunction::ShannonEntropy;
+        let tree = WaveletPacketTree::decompose(&signal, &kind.filter(), 5);
+        let best = tree.best_basis(cost).cost;
+        prop_assert!(best <= tree.leaf_basis(cost).cost + 1e-9);
+        prop_assert!(best <= tree.dwt_basis(cost).cost + 1e-9);
+    }
+
+    /// Huffman coding is a bijection on symbol streams, and its size never
+    /// exceeds the trivial fixed-width encoding by more than the table.
+    #[test]
+    fn huffman_roundtrip_and_bound(
+        symbols in prop::collection::vec(0u16..128, 0..500),
+    ) {
+        let enc = huffman::encode(&symbols, 128);
+        prop_assert_eq!(huffman::decode(&enc), symbols.clone());
+        // ≤ 32 bits per symbol (tree depth bound) + table.
+        prop_assert!(enc.bits.len() <= symbols.len() * 4 + 1);
+    }
+
+    /// Quantization error is bounded by half a step, and codes are stable
+    /// under re-encoding of the decoded value.
+    #[test]
+    fn quantizer_fixpoint(
+        signal in prop::collection::vec(-1000.0_f64..1000.0, 1..100),
+        bits in 2u32..12,
+    ) {
+        let q = UniformQuantizer::fit(&signal, bits);
+        for &x in &signal {
+            let c = q.encode(x);
+            let y = q.decode(c);
+            prop_assert!((y - x).abs() <= q.step() / 2.0 + 1e-9);
+            prop_assert_eq!(q.encode(y), c);
+        }
+    }
+
+    /// Polynomial composition law: (p ∘ affine) evaluated == p(affine(x)).
+    #[test]
+    fn polynomial_compose(
+        coeffs in prop::collection::vec(-5.0_f64..5.0, 0..5),
+        a in -3.0_f64..3.0,
+        b in -10.0_f64..10.0,
+        x in -20.0_f64..20.0,
+    ) {
+        let p = Polynomial::from_coeffs(coeffs);
+        let q = p.compose_affine(a, b);
+        let direct = p.eval(a * x + b);
+        prop_assert!((q.eval(x) - direct).abs() < 1e-6 * direct.abs().max(1.0));
+    }
+
+    /// Filtering a polynomial symbolically matches pointwise filtering.
+    #[test]
+    fn filter_polynomial_pointwise(
+        coeffs in prop::collection::vec(-2.0_f64..2.0, 1..4),
+        kind in filter_strategy(),
+        highpass in any::<bool>(),
+    ) {
+        let p = Polynomial::from_coeffs(coeffs);
+        let f = kind.filter();
+        let q = f.filter_polynomial(highpass, &p);
+        let taps = if highpass { f.highpass() } else { f.lowpass() };
+        for k in 0..6 {
+            let direct: f64 = taps
+                .iter()
+                .enumerate()
+                .map(|(m, &c)| c * p.eval((2 * k + m) as f64))
+                .sum();
+            prop_assert!((q.eval(k as f64) - direct).abs() < 1e-6 * direct.abs().max(1.0));
+        }
+    }
+}

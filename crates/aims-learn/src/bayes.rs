@@ -1,0 +1,152 @@
+//! Gaussian naive Bayes classifier — one of the "conventional learning
+//! techniques" (Bayesian Classifiers) the group's earlier haptics work
+//! [28, 5] applied before settling on the SVM.
+
+use crate::dataset::{Dataset, Label};
+use crate::Classifier;
+
+/// Per-class Gaussian model with independent features.
+#[derive(Clone, Debug)]
+pub struct GaussianNaiveBayes {
+    prior_pos: f64,
+    mean: [Vec<f64>; 2],
+    var: [Vec<f64>; 2],
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNaiveBayes {
+    fn class_index(l: Label) -> usize {
+        match l {
+            Label::Negative => 0,
+            Label::Positive => 1,
+        }
+    }
+
+    /// Log joint `log P(class) + Σ log N(x_j; μ, σ²)`.
+    pub fn log_likelihood(&self, features: &[f64], label: Label) -> f64 {
+        let c = Self::class_index(label);
+        let prior = match label {
+            Label::Positive => self.prior_pos,
+            Label::Negative => 1.0 - self.prior_pos,
+        };
+        let mut ll = prior.max(1e-12).ln();
+        for ((&x, &m), &v) in features.iter().zip(&self.mean[c]).zip(&self.var[c]) {
+            ll += -0.5 * ((x - m) * (x - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(train: &Dataset) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let d = train.dim();
+        let mut count = [0usize; 2];
+        let mut mean = [vec![0.0; d], vec![0.0; d]];
+        for (f, &l) in train.features.iter().zip(&train.labels) {
+            let c = Self::class_index(l);
+            count[c] += 1;
+            for (m, &x) in mean[c].iter_mut().zip(f) {
+                *m += x;
+            }
+        }
+        for c in 0..2 {
+            for m in &mut mean[c] {
+                *m /= count[c].max(1) as f64;
+            }
+        }
+        let mut var = [vec![0.0; d], vec![0.0; d]];
+        for (f, &l) in train.features.iter().zip(&train.labels) {
+            let c = Self::class_index(l);
+            for (v, (&x, &m)) in var[c].iter_mut().zip(f.iter().zip(&mean[c])) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        for c in 0..2 {
+            for v in &mut var[c] {
+                *v = (*v / count[c].max(1) as f64).max(VAR_FLOOR);
+            }
+        }
+        GaussianNaiveBayes {
+            prior_pos: count[1] as f64 / train.len() as f64,
+            mean,
+            var,
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> Label {
+        if self.log_likelihood(features, Label::Positive)
+            >= self.log_likelihood(features, Label::Negative)
+        {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn gaussians(n: usize, sep: f64) -> Dataset {
+        // Deterministic pseudo-normal via sums of LCG uniforms.
+        let mut state = 0xABCDu64;
+        let mut unif = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut normal = move || (0..12).map(|_| unif()).sum::<f64>() - 6.0;
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let mu = if pos { sep } else { -sep };
+            features.push(vec![mu + normal(), normal()]);
+            labels.push(if pos { Label::Positive } else { Label::Negative });
+        }
+        Dataset::new(features, labels)
+    }
+
+    #[test]
+    fn well_separated_gaussians_classified() {
+        let ds = gaussians(300, 4.0);
+        let nb = GaussianNaiveBayes::fit(&ds);
+        let acc = accuracy(&nb.predict_all(&ds.features), &ds.labels);
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn prior_reflects_imbalance() {
+        let ds = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]],
+            vec![Label::Negative, Label::Negative, Label::Negative, Label::Positive],
+        );
+        let nb = GaussianNaiveBayes::fit(&ds);
+        assert!((nb.prior_pos - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_feature_does_not_blow_up() {
+        let ds = Dataset::new(
+            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 10.0], vec![1.0, 11.0]],
+            vec![Label::Negative, Label::Negative, Label::Positive, Label::Positive],
+        );
+        let nb = GaussianNaiveBayes::fit(&ds);
+        assert_eq!(nb.predict(&[1.0, 0.5]), Label::Negative);
+        assert_eq!(nb.predict(&[1.0, 10.5]), Label::Positive);
+    }
+
+    #[test]
+    fn log_likelihood_orders_predictions() {
+        let ds = gaussians(200, 3.0);
+        let nb = GaussianNaiveBayes::fit(&ds);
+        let x = &ds.features[0];
+        let pred = nb.predict(x);
+        let lp = nb.log_likelihood(x, Label::Positive);
+        let ln = nb.log_likelihood(x, Label::Negative);
+        assert_eq!(pred == Label::Positive, lp >= ln);
+    }
+}

@@ -1,0 +1,254 @@
+//! Labeled datasets, standardization and splits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A binary class label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The negative class (e.g. "normal subject").
+    Negative,
+    /// The positive class (e.g. "ADHD subject").
+    Positive,
+}
+
+impl Label {
+    /// Signed encoding `−1.0 / +1.0` used by margin classifiers.
+    pub fn signum(self) -> f64 {
+        match self {
+            Label::Negative => -1.0,
+            Label::Positive => 1.0,
+        }
+    }
+
+    /// Decodes from any real score.
+    pub fn from_score(score: f64) -> Label {
+        if score >= 0.0 {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+}
+
+/// A feature matrix with labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// Feature vectors (rows).
+    pub features: Vec<Vec<f64>>,
+    /// One label per row.
+    pub labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes.
+    ///
+    /// # Panics
+    /// If rows have inconsistent widths or counts mismatch.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<Label>) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label count mismatch");
+        if let Some(first) = features.first() {
+            let d = first.len();
+            assert!(d > 0, "features must be non-empty");
+            for (i, f) in features.iter().enumerate() {
+                assert_eq!(f.len(), d, "row {i} width mismatch");
+            }
+        }
+        Dataset { features, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no examples are present.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Per-feature mean and standard deviation (std floored at 1e-12).
+    pub fn moments(&self) -> (Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for f in &self.features {
+            for (m, &x) in mean.iter_mut().zip(f) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for f in &self.features {
+            for (s, (&x, &m)) in std.iter_mut().zip(f.iter().zip(&mean)) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-12);
+        }
+        (mean, std)
+    }
+
+    /// Returns a standardized copy (zero mean, unit variance per feature)
+    /// together with the transform, for applying to held-out data.
+    pub fn standardized(&self) -> (Dataset, Standardizer) {
+        let (mean, std) = self.moments();
+        let scaler = Standardizer { mean, std };
+        let features = self.features.iter().map(|f| scaler.apply(f)).collect();
+        (Dataset { features, labels: self.labels.clone() }, scaler)
+    }
+
+    /// Seeded stratified split into `(train, test)` with `test_fraction`
+    /// of each class held out.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction), "bad test fraction");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in [Label::Negative, Label::Positive] {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            // Fisher–Yates.
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            let n_test = (idx.len() as f64 * test_fraction).round() as usize;
+            test_idx.extend_from_slice(&idx[..n_test]);
+            train_idx.extend_from_slice(&idx[n_test..]);
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Extracts the examples at the given indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Seeded k-fold partition: returns `k` disjoint index sets covering
+    /// all examples.
+    pub fn folds(&self, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(k >= 2 && k <= self.len(), "bad fold count {k} for {} examples", self.len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let mut folds = vec![Vec::new(); k];
+        for (pos, &i) in idx.iter().enumerate() {
+            folds[pos % k].push(i);
+        }
+        folds
+    }
+}
+
+/// A per-feature affine standardization transform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Standardizer {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (floored).
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Applies the transform to one feature vector.
+    pub fn apply(&self, f: &[f64]) -> Vec<f64> {
+        assert_eq!(f.len(), self.mean.len(), "feature width mismatch");
+        f.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+                vec![5.0, 50.0],
+                vec![6.0, 60.0],
+            ],
+            vec![
+                Label::Negative,
+                Label::Negative,
+                Label::Negative,
+                Label::Positive,
+                Label::Positive,
+                Label::Positive,
+            ],
+        )
+    }
+
+    #[test]
+    fn label_encoding() {
+        assert_eq!(Label::Positive.signum(), 1.0);
+        assert_eq!(Label::Negative.signum(), -1.0);
+        assert_eq!(Label::from_score(0.5), Label::Positive);
+        assert_eq!(Label::from_score(-0.5), Label::Negative);
+        assert_eq!(Label::from_score(0.0), Label::Positive);
+    }
+
+    #[test]
+    fn standardization_zero_mean_unit_var() {
+        let (std_ds, scaler) = toy().standardized();
+        let (mean, std) = std_ds.moments();
+        for m in mean {
+            assert!(m.abs() < 1e-9);
+        }
+        for s in std {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // The scaler reproduces the same transform on new data.
+        let x = scaler.apply(&[3.5, 35.0]);
+        assert!(x[0].abs() < 1e-9 && x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let ds = toy();
+        let (train, test) = ds.split(1.0 / 3.0, 7);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.len(), 4);
+        // One test example per class.
+        let pos = test.labels.iter().filter(|&&l| l == Label::Positive).count();
+        assert_eq!(pos, 1);
+    }
+
+    #[test]
+    fn folds_cover_everything_disjointly() {
+        let ds = toy();
+        let folds = ds.folds(3, 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // Deterministic per seed.
+        assert_eq!(ds.folds(3, 5), folds);
+        assert_ne!(ds.folds(3, 6), folds);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_features_panic() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![Label::Negative, Label::Positive]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Classification metrics.
+
+use crate::dataset::Label;
+
+/// Fraction of matching predictions.
+///
+/// # Panics
+/// If lengths differ or are zero.
+pub fn accuracy(predicted: &[Label], actual: &[Label]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// A 2×2 confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positive predicted positive.
+    pub tp: usize,
+    /// Negative predicted positive.
+    pub fp: usize,
+    /// Positive predicted negative.
+    pub fn_: usize,
+    /// Negative predicted negative.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Precision `tp/(tp+fp)`; 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp/(tp+fn)`; 1.0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the confusion matrix of a prediction run.
+pub fn confusion(predicted: &[Label], actual: &[Label]) -> ConfusionMatrix {
+    assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+    let mut m = ConfusionMatrix::default();
+    for (p, a) in predicted.iter().zip(actual) {
+        match (a, p) {
+            (Label::Positive, Label::Positive) => m.tp += 1,
+            (Label::Negative, Label::Positive) => m.fp += 1,
+            (Label::Positive, Label::Negative) => m.fn_ += 1,
+            (Label::Negative, Label::Negative) => m.tn += 1,
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Label::{Negative as N, Positive as P};
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[P, N, P], &[P, N, N]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[P], &[P]), 1.0);
+    }
+
+    #[test]
+    fn confusion_cells() {
+        let m = confusion(&[P, P, N, N, P], &[P, N, P, N, P]);
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let all_negative = confusion(&[N, N], &[N, N]);
+        assert_eq!(all_negative.precision(), 1.0);
+        assert_eq!(all_negative.recall(), 1.0);
+        assert_eq!(all_negative.accuracy(), 1.0);
+        let never_positive = confusion(&[N, N], &[P, P]);
+        assert_eq!(never_positive.precision(), 1.0); // nothing predicted positive
+        assert_eq!(never_positive.recall(), 0.0);
+        assert_eq!(never_positive.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&[P], &[P, N]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the classifiers and evaluation harness.
+
+use proptest::prelude::*;
+
+use aims_learn::{
+    accuracy, confusion, cross_validate, Classifier, Dataset, DecisionTree, GaussianNaiveBayes,
+    KNearestNeighbors, Label, LinearSvm,
+};
+
+fn blobs(n: usize, gap: f64, seed: u64) -> Dataset {
+    let mut state = seed.max(1);
+    let mut unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 1000.0 - 1.0
+    };
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { gap } else { -gap };
+            vec![c + unit(), c * 0.5 + unit()]
+        })
+        .collect();
+    let labels = (0..n)
+        .map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative })
+        .collect();
+    Dataset::new(features, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every classifier beats chance comfortably on well-separated blobs,
+    /// regardless of the sampling seed.
+    #[test]
+    fn classifiers_beat_chance_on_separable_data(seed in 0u64..500) {
+        let ds = blobs(80, 3.0, seed);
+        macro_rules! check {
+            ($C:ty) => {{
+                let model = <$C>::fit(&ds);
+                let acc = accuracy(&model.predict_all(&ds.features), &ds.labels);
+                prop_assert!(acc > 0.9, "{} acc {}", stringify!($C), acc);
+            }};
+        }
+        check!(LinearSvm);
+        check!(GaussianNaiveBayes);
+        check!(DecisionTree);
+        check!(KNearestNeighbors);
+    }
+
+    /// Accuracy equals the confusion matrix's accuracy for any prediction
+    /// pattern.
+    #[test]
+    fn accuracy_consistent_with_confusion(
+        bits in prop::collection::vec(any::<(bool, bool)>(), 1..100),
+    ) {
+        let to_label = |b: bool| if b { Label::Positive } else { Label::Negative };
+        let predicted: Vec<Label> = bits.iter().map(|&(p, _)| to_label(p)).collect();
+        let actual: Vec<Label> = bits.iter().map(|&(_, a)| to_label(a)).collect();
+        let m = confusion(&predicted, &actual);
+        prop_assert!((m.accuracy() - accuracy(&predicted, &actual)).abs() < 1e-12);
+        prop_assert_eq!(m.tp + m.fp + m.fn_ + m.tn, bits.len());
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((0.0..=1.0).contains(&m.f1()));
+    }
+
+    /// Cross-validation covers every example exactly once and fold
+    /// accuracies are probabilities.
+    #[test]
+    fn cv_covers_everything(seed in 0u64..200, k in 2usize..6) {
+        let ds = blobs(60, 2.0, seed);
+        let report = cross_validate::<GaussianNaiveBayes>(&ds, k, seed);
+        prop_assert_eq!(report.fold_accuracies.len(), k);
+        for &a in &report.fold_accuracies {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+        let total = report.confusion.tp
+            + report.confusion.fp
+            + report.confusion.fn_
+            + report.confusion.tn;
+        prop_assert_eq!(total, 60);
+    }
+
+    /// Standardization is idempotent and invertible in distribution: the
+    /// standardized dataset has zero mean/unit variance per feature.
+    #[test]
+    fn standardization_moments(seed in 0u64..500, n in 4usize..60) {
+        let ds = blobs(n, 1.5, seed);
+        let (std_ds, _) = ds.standardized();
+        let (mean, std) = std_ds.moments();
+        for m in mean {
+            prop_assert!(m.abs() < 1e-9);
+        }
+        for s in std {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Label prediction is deterministic: fitting twice on the same data
+    /// gives identical predictions.
+    #[test]
+    fn fitting_is_deterministic(seed in 0u64..200) {
+        let ds = blobs(50, 1.0, seed);
+        let probe = blobs(20, 1.0, seed.wrapping_add(9));
+        let a = LinearSvm::fit(&ds).predict_all(&probe.features);
+        let b = LinearSvm::fit(&ds).predict_all(&probe.features);
+        prop_assert_eq!(a, b);
+        let ta = DecisionTree::fit(&ds).predict_all(&probe.features);
+        let tb = DecisionTree::fit(&ds).predict_all(&probe.features);
+        prop_assert_eq!(ta, tb);
+    }
+}

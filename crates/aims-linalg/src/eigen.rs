@@ -1,0 +1,184 @@
+//! Symmetric eigendecomposition via cyclic Jacobi rotations.
+//!
+//! Second-order statistical analysis in AIMS — PCA over covariance matrices
+//! assembled from ProPolyne polynomial range-sums (paper §3.4.1) — needs the
+//! eigendecomposition of small symmetric matrices. Cyclic Jacobi is exact in
+//! the limit, unconditionally convergent on symmetric input, and trivially
+//! verifiable, which is what a reproduction wants.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = Q Λ Qᵀ` of a symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in non-increasing order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as the columns of `q` (same order).
+    pub eigenvectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by the cyclic
+/// Jacobi method.
+///
+/// # Panics
+/// If `a` is not square or not symmetric to within `1e-9 · max|a|`.
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "symmetric_eigen requires a square matrix");
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)]).abs() <= 1e-9 * scale,
+                "matrix is not symmetric at ({i},{j})"
+            );
+        }
+    }
+
+    let mut m = a.clone();
+    let mut q = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+
+    for _ in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass; stop when negligible.
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
+            .sum();
+        if off.sqrt() <= 1e-14 * scale {
+            break;
+        }
+
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apq = m[(p, r)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(r, r)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // Apply the rotation on both sides: M ← JᵀMJ.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, r)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, r)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(r, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(r, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkq = q[(k, r)];
+                    q[(k, p)] = c * qkp - s * qkq;
+                    q[(k, r)] = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+
+    let mut eigenvalues: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| eigenvalues[y].partial_cmp(&eigenvalues[x]).unwrap());
+
+    let mut vecs = Matrix::zeros(n, n);
+    let mut vals = vec![0.0; n];
+    for (dst, &src) in order.iter().enumerate() {
+        vals[dst] = eigenvalues[src];
+        for i in 0..n {
+            vecs[(i, dst)] = q[(i, src)];
+        }
+    }
+    eigenvalues = vals;
+
+    SymmetricEigen { eigenvalues, eigenvectors: vecs }
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `Q Λ Qᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.eigenvalues.len();
+        let mut ql = self.eigenvectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                ql[(i, j)] *= self.eigenvalues[j];
+            }
+        }
+        ql.matmul(&self.eigenvectors.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::diagonal(&[1.0, 5.0, 3.0]);
+        let e = symmetric_eigen(&a);
+        assert!(crate::approx_eq(e.eigenvalues[0], 5.0, 1e-12));
+        assert!(crate::approx_eq(e.eigenvalues[1], 3.0, 1e-12));
+        assert!(crate::approx_eq(e.eigenvalues[2], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = symmetric_eigen(&a);
+        assert!(crate::approx_eq(e.eigenvalues[0], 3.0, 1e-12));
+        assert!(crate::approx_eq(e.eigenvalues[1], 1.0, 1e-12));
+        assert!(e.reconstruct().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 5.0, -1.0],
+            vec![0.5, 1.0, -1.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        assert!(e.eigenvectors.has_orthonormal_columns(1e-10));
+        assert!(e.reconstruct().approx_eq(&a, 1e-9));
+        // Trace is invariant.
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!(crate::approx_eq(sum, a.trace(), 1e-10));
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 3.0]]);
+        let e = symmetric_eigen(&a);
+        for k in 0..2 {
+            let v = e.eigenvectors.column(k);
+            let av = a.mul_vec(&v);
+            let lv = v.scaled(e.eigenvalues[k]);
+            assert!(av.approx_eq(&lv, 1e-10), "eigenpair {k} violated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_panics() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        symmetric_eigen(&a);
+    }
+
+    #[test]
+    fn negative_eigenvalues_handled() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let e = symmetric_eigen(&a);
+        assert!(crate::approx_eq(e.eigenvalues[0], 1.0, 1e-12));
+        assert!(crate::approx_eq(e.eigenvalues[1], -1.0, 1e-12));
+    }
+}

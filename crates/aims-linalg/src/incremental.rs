@@ -1,0 +1,330 @@
+//! Incremental (streaming) SVD.
+//!
+//! §3.4.1 of the AIMS paper proposes "computing SVD incrementally, i.e.,
+//! computation of SVD utilizing results that have already been computed in
+//! the earlier steps thus reducing the overall computation cost
+//! considerably". This module implements the classic rank-incremental column
+//! update (Brand 2002 style): the decomposition of `[A | c]` is obtained from
+//! the decomposition of `A` plus an SVD of a small `(k+1) × (k+1)` core
+//! matrix, instead of refactorizing the whole stream window.
+
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::vector::Vector;
+
+/// A streaming left-subspace SVD: maintains `U` (m × k) and the singular
+/// values of everything appended so far, optionally truncated to a maximum
+/// rank.
+///
+/// The right factor `V` is not maintained: pattern-matching in AIMS only
+/// needs the left singular vectors (the sensor-space rotations) and the
+/// singular values, and dropping `V` keeps the per-update cost independent
+/// of the stream length.
+#[derive(Clone, Debug)]
+pub struct IncrementalSvd {
+    rows: usize,
+    max_rank: usize,
+    u: Matrix,
+    sigma: Vec<f64>,
+    appended: usize,
+}
+
+impl IncrementalSvd {
+    /// Creates an empty decomposition for column vectors of length `rows`,
+    /// truncating to at most `max_rank` retained directions.
+    ///
+    /// # Panics
+    /// If `rows == 0` or `max_rank == 0`.
+    pub fn new(rows: usize, max_rank: usize) -> Self {
+        assert!(rows > 0, "rows must be positive");
+        assert!(max_rank > 0, "max_rank must be positive");
+        IncrementalSvd {
+            rows,
+            max_rank: max_rank.min(rows),
+            u: Matrix::zeros(rows, 0),
+            sigma: Vec::new(),
+            appended: 0,
+        }
+    }
+
+    /// Number of columns appended so far.
+    pub fn columns_seen(&self) -> usize {
+        self.appended
+    }
+
+    /// Current retained rank.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Current left singular vectors (`rows × rank`).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Current singular values (non-increasing).
+    pub fn singular_values(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// Appends one column `c` to the implicit matrix and updates the
+    /// decomposition.
+    ///
+    /// # Panics
+    /// If `c.len() != rows`.
+    pub fn append_column(&mut self, c: &Vector) {
+        assert_eq!(c.len(), self.rows, "column length mismatch");
+        self.appended += 1;
+        let k = self.sigma.len();
+
+        // Project onto the current subspace and split off the residual.
+        let p: Vec<f64> = (0..k)
+            .map(|j| (0..self.rows).map(|i| self.u[(i, j)] * c[i]).sum())
+            .collect();
+        let mut r = c.clone();
+        for (j, &pj) in p.iter().enumerate() {
+            for i in 0..self.rows {
+                r[i] -= pj * self.u[(i, j)];
+            }
+        }
+        let rho = r.norm();
+        let expand = rho > 1e-10 && k < self.max_rank.min(self.rows);
+
+        // Core matrix K: [[diag(σ), p], [0, ρ]] (or without the last row/col
+        // growth when the residual is negligible or rank is capped).
+        let kdim = if expand { k + 1 } else { k.max(1).min(k + usize::from(k == 0)) };
+        if k == 0 {
+            // First column: decomposition is trivial.
+            if rho <= 1e-300 {
+                // A zero first column contributes nothing.
+                if c.norm() == 0.0 {
+                    return;
+                }
+            }
+            let mut unit = c.clone();
+            let norm = unit.normalize();
+            if norm == 0.0 {
+                return;
+            }
+            self.u = Matrix::from_columns(&[unit]);
+            self.sigma = vec![norm];
+            return;
+        }
+
+        let core = if expand {
+            let mut km = Matrix::zeros(k + 1, k + 1);
+            for (i, &s) in self.sigma.iter().enumerate() {
+                km[(i, i)] = s;
+            }
+            for (i, &pi) in p.iter().enumerate() {
+                km[(i, k)] = pi;
+            }
+            km[(k, k)] = rho;
+            km
+        } else {
+            let mut km = Matrix::zeros(k, k + 1);
+            for (i, &s) in self.sigma.iter().enumerate() {
+                km[(i, i)] = s;
+            }
+            for (i, &pi) in p.iter().enumerate() {
+                km[(i, k)] = pi;
+            }
+            km
+        };
+        debug_assert!(kdim >= 1);
+
+        let core_svd = Svd::compute(&core);
+
+        // Basis for the rotation: current U, plus the normalized residual
+        // when expanding.
+        let basis = if expand {
+            let unit = r.scaled(1.0 / rho);
+            self.u.hstack(&Matrix::from_columns(&[unit]))
+        } else {
+            self.u.clone()
+        };
+
+        let mut new_u = basis.matmul(&core_svd.u);
+        let mut new_sigma = core_svd.singular_values.clone();
+
+        // Truncate to max_rank and drop numerically-zero directions.
+        let keep = new_sigma
+            .iter()
+            .take(self.max_rank)
+            .filter(|&&s| s > 1e-12)
+            .count();
+        new_u = new_u.submatrix(0, self.rows, 0, keep);
+        new_sigma.truncate(keep);
+
+        self.u = new_u;
+        self.sigma = new_sigma;
+    }
+
+    /// Appends every column of `m` in order.
+    pub fn append_matrix(&mut self, m: &Matrix) {
+        for j in 0..m.cols() {
+            self.append_column(&m.column(j));
+        }
+    }
+
+    /// Exponential forgetting: scales every singular value by `factor`
+    /// (`0 < factor ≤ 1`). Applying this before each append makes the
+    /// decomposition track a sliding exponential window instead of the
+    /// whole stream — the streaming-SVD mode §3.4.1 needs without the cost
+    /// of exact downdating.
+    ///
+    /// # Panics
+    /// If the factor is outside `(0, 1]`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0,1]");
+        for s in &mut self.sigma {
+            *s *= factor;
+        }
+    }
+
+    /// Largest principal angle (in radians) between this subspace and the
+    /// column space of `other` truncated to the shared rank. Useful for
+    /// testing subspace tracking quality.
+    pub fn subspace_angle(&self, other: &Matrix) -> f64 {
+        let k = self.rank().min(other.cols());
+        if k == 0 {
+            return 0.0;
+        }
+        let a = self.u.submatrix(0, self.rows, 0, k);
+        let b = other.submatrix(0, other.rows(), 0, k);
+        let m = a.transpose().matmul(&b);
+        let svd = Svd::compute(&m);
+        let smin = svd.singular_values.last().copied().unwrap_or(0.0).clamp(-1.0, 1.0);
+        smin.min(1.0).acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).max(1);
+        Matrix::from_fn(m, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn single_column_matches_norm() {
+        let mut inc = IncrementalSvd::new(4, 4);
+        let c = Vector::from(vec![3.0, 0.0, 4.0, 0.0]);
+        inc.append_column(&c);
+        assert_eq!(inc.rank(), 1);
+        assert!(crate::approx_eq(inc.singular_values()[0], 5.0, 1e-12));
+    }
+
+    #[test]
+    fn matches_batch_svd_on_full_rank_stream() {
+        let a = random_matrix(6, 5, 11);
+        let mut inc = IncrementalSvd::new(6, 6);
+        inc.append_matrix(&a);
+
+        let batch = Svd::compute(&a);
+        assert_eq!(inc.rank(), 5);
+        for (i, (&si, sb)) in inc
+            .singular_values()
+            .iter()
+            .zip(&batch.singular_values)
+            .enumerate()
+        {
+            assert!(crate::approx_eq(si, *sb, 1e-8), "σ{i}: {si} vs {sb}");
+        }
+        // Left subspaces agree.
+        let angle = inc.subspace_angle(&batch.u);
+        assert!(angle < 1e-6, "subspace angle {angle}");
+    }
+
+    #[test]
+    fn truncation_keeps_dominant_directions() {
+        // Stream with a dominant rank-2 structure plus small noise.
+        let u = {
+            let q = crate::qr::QrDecomposition::new(&random_matrix(8, 2, 3));
+            q.q
+        };
+        let mut inc = IncrementalSvd::new(8, 2);
+        let mut state = 77u64;
+        for _ in 0..40 {
+            let mut c = Vector::zeros(8);
+            for j in 0..2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let coef = ((state >> 33) as f64 / (1u64 << 31) as f64) * 4.0 - 2.0;
+                c.axpy(coef * (2.0 - j as f64), &u.column(j));
+            }
+            inc.append_column(&c);
+        }
+        assert_eq!(inc.rank(), 2);
+        let angle = inc.subspace_angle(&u);
+        assert!(angle < 1e-6, "dominant subspace lost: angle {angle}");
+    }
+
+    #[test]
+    fn zero_columns_are_ignored() {
+        let mut inc = IncrementalSvd::new(3, 3);
+        inc.append_column(&Vector::zeros(3));
+        assert_eq!(inc.rank(), 0);
+        inc.append_column(&Vector::from(vec![1.0, 0.0, 0.0]));
+        inc.append_column(&Vector::zeros(3));
+        assert_eq!(inc.rank(), 1);
+        assert!(crate::approx_eq(inc.singular_values()[0], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn duplicate_columns_grow_sigma_not_rank() {
+        let mut inc = IncrementalSvd::new(3, 3);
+        let c = Vector::from(vec![1.0, 2.0, 2.0]);
+        inc.append_column(&c);
+        inc.append_column(&c);
+        assert_eq!(inc.rank(), 1);
+        // ‖[c c]‖₂ = √2·‖c‖.
+        assert!(crate::approx_eq(inc.singular_values()[0], 2.0_f64.sqrt() * 3.0, 1e-9));
+    }
+
+    #[test]
+    fn u_columns_stay_orthonormal() {
+        let a = random_matrix(7, 12, 23);
+        let mut inc = IncrementalSvd::new(7, 5);
+        inc.append_matrix(&a);
+        assert!(inc.u().has_orthonormal_columns(1e-8));
+        assert!(inc.rank() <= 5);
+        assert_eq!(inc.columns_seen(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn wrong_length_column_panics() {
+        let mut inc = IncrementalSvd::new(4, 2);
+        inc.append_column(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn decay_scales_sigma_and_forgets_old_directions() {
+        let mut inc = IncrementalSvd::new(3, 3);
+        inc.append_column(&Vector::from(vec![2.0, 0.0, 0.0]));
+        let before = inc.singular_values()[0];
+        inc.decay(0.5);
+        assert!(crate::approx_eq(inc.singular_values()[0], before * 0.5, 1e-12));
+
+        // With heavy decay, a new dominant direction takes over quickly.
+        for _ in 0..20 {
+            inc.decay(0.5);
+            inc.append_column(&Vector::from(vec![0.0, 3.0, 0.0]));
+        }
+        let top = inc.u().column(0);
+        assert!(top[1].abs() > 0.99, "new direction not dominant: {top:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn bad_decay_panics() {
+        IncrementalSvd::new(2, 2).decay(0.0);
+    }
+}

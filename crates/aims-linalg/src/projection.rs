@@ -1,0 +1,190 @@
+//! Random projections for dimension reduction.
+//!
+//! §3.3.1 of the AIMS paper lists "dimension reduction techniques such as
+//! random projections" among the planned ProPolyne refinements, and the
+//! online analysis faces the "dimensionality curse" head-on (§3.4.2). A
+//! Johnson–Lindenstrauss projection — a seeded Gaussian matrix scaled by
+//! `1/√k` — preserves pairwise distances within `(1 ± ε)` with high
+//! probability, turning long feature vectors into short sketches that the
+//! similarity machinery can compare cheaply.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A seeded Gaussian random projection `ℝᵈ → ℝᵏ`.
+#[derive(Clone, Debug)]
+pub struct RandomProjection {
+    /// `k × d` projection matrix (rows already scaled by `1/√k`).
+    matrix: Matrix,
+}
+
+impl RandomProjection {
+    /// Creates a projection from `input_dim` to `output_dim` dimensions,
+    /// deterministic in `seed`.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        // Deterministic Gaussian entries via xorshift + Box–Muller.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next_unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let scale = 1.0 / (output_dim as f64).sqrt();
+        let matrix = Matrix::from_fn(output_dim, input_dim, |_, _| {
+            let u1 = next_unit().max(f64::MIN_POSITIVE);
+            let u2 = next_unit();
+            scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        });
+        RandomProjection { matrix }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Output (sketch) dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Projects one vector.
+    ///
+    /// # Panics
+    /// If `v.len() != input_dim()`.
+    pub fn project(&self, v: &Vector) -> Vector {
+        self.matrix.mul_vec(v)
+    }
+
+    /// Projects every *column* of a `d × n` matrix (e.g. a sensor window
+    /// whose columns are frames), yielding the `k × n` sketch.
+    pub fn project_columns(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.rows(), self.input_dim(), "column dimension mismatch");
+        self.matrix.matmul(m)
+    }
+
+    /// The suggested sketch dimension for `n` points at distortion `eps`
+    /// (the Johnson–Lindenstrauss bound `k ≈ 8·ln n / ε²`).
+    pub fn suggested_dim(n_points: usize, eps: f64) -> usize {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        ((8.0 * (n_points.max(2) as f64).ln()) / (eps * eps)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_vectors(n: usize, d: usize, seed: u64) -> Vec<Vector> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 2000) as f64 / 100.0 - 10.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomProjection::new(50, 10, 7);
+        let b = RandomProjection::new(50, 10, 7);
+        let v = Vector::filled(50, 1.0);
+        assert!(a.project(&v).approx_eq(&b.project(&v), 1e-15));
+        let c = RandomProjection::new(50, 10, 8);
+        assert!(!a.project(&v).approx_eq(&c.project(&v), 1e-6));
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let p = RandomProjection::new(30, 8, 3);
+        let vs = random_vectors(2, 30, 5);
+        let combined = {
+            let mut x = vs[0].scaled(2.0);
+            x.axpy(-1.0, &vs[1]);
+            x
+        };
+        let direct = p.project(&combined);
+        let mut via = p.project(&vs[0]).scaled(2.0);
+        via.axpy(-1.0, &p.project(&vs[1]));
+        assert!(direct.approx_eq(&via, 1e-10));
+    }
+
+    #[test]
+    fn distances_preserved_within_epsilon() {
+        // JL: with k = suggested_dim(n, 0.5) the pairwise distances of n
+        // points survive within ±50% (generous, so the test is stable).
+        let n = 20;
+        let d = 200;
+        let k = RandomProjection::suggested_dim(n, 0.5);
+        let p = RandomProjection::new(d, k, 11);
+        let points = random_vectors(n, d, 21);
+        let sketches: Vec<Vector> = points.iter().map(|v| p.project(v)).collect();
+        let mut violations = 0;
+        let mut pairs = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let orig = (&points[i] - &points[j]).norm();
+                let proj = (&sketches[i] - &sketches[j]).norm();
+                pairs += 1;
+                if (proj / orig - 1.0).abs() > 0.5 {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(
+            violations * 20 <= pairs,
+            "{violations}/{pairs} pairs outside the distortion band"
+        );
+    }
+
+    #[test]
+    fn expected_norm_is_preserved() {
+        // E[‖Px‖²] = ‖x‖²: check the average over many projections of one
+        // vector.
+        let v: Vector = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut ratio_sum = 0.0;
+        let trials = 60;
+        for seed in 0..trials {
+            let p = RandomProjection::new(64, 16, seed);
+            ratio_sum += p.project(&v).norm_sq() / v.norm_sq();
+        }
+        let mean = ratio_sum / trials as f64;
+        assert!((mean - 1.0).abs() < 0.15, "mean norm ratio {mean}");
+    }
+
+    #[test]
+    fn project_columns_matches_per_vector() {
+        let p = RandomProjection::new(12, 4, 9);
+        let m = Matrix::from_fn(12, 5, |i, j| (i * 5 + j) as f64 * 0.3);
+        let sketch = p.project_columns(&m);
+        assert_eq!(sketch.shape(), (4, 5));
+        for j in 0..5 {
+            let direct = p.project(&m.column(j));
+            assert!(sketch.column(j).approx_eq(&direct, 1e-12), "column {j}");
+        }
+    }
+
+    #[test]
+    fn suggested_dim_scales() {
+        assert!(RandomProjection::suggested_dim(100, 0.5) < RandomProjection::suggested_dim(100, 0.1));
+        assert!(RandomProjection::suggested_dim(10, 0.3) < RandomProjection::suggested_dim(10_000, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        RandomProjection::new(0, 4, 1);
+    }
+}

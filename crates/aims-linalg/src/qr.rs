@@ -1,0 +1,177 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A QR factorization `A = Q R` with `Q` having orthonormal columns
+/// (thin/economy form: `Q` is `m × n`, `R` is `n × n`, for `m ≥ n`).
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (`m × n`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n × n`).
+    pub r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Computes the thin QR factorization of `a` by Householder reflections.
+    ///
+    /// # Panics
+    /// If `a.rows() < a.cols()` (wide matrices are not needed in AIMS).
+    pub fn new(a: &Matrix) -> Self {
+        let (m, n) = a.shape();
+        assert!(m >= n, "QR requires rows >= cols, got {m}x{n}");
+        // Work on a full copy; accumulate reflectors into an m×m identity,
+        // then truncate to the thin factors at the end.
+        let mut r = a.clone();
+        let mut q_full = Matrix::identity(m);
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Build the Householder vector for column k below the diagonal.
+            let mut v = vec![0.0; m - k];
+            for i in k..m {
+                v[i - k] = r[(i, k)];
+            }
+            let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if alpha.abs() < crate::EPS {
+                continue; // column already zero below the diagonal
+            }
+            v[0] -= alpha;
+            let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm_sq < crate::EPS {
+                continue;
+            }
+
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and accumulate into Q.
+            for j in k..n {
+                let dot: f64 = (k..m).map(|i| v[i - k] * r[(i, j)]).sum();
+                let c = 2.0 * dot / vnorm_sq;
+                for i in k..m {
+                    r[(i, j)] -= c * v[i - k];
+                }
+            }
+            for j in 0..m {
+                let dot: f64 = (k..m).map(|i| v[i - k] * q_full[(j, i)]).sum();
+                let c = 2.0 * dot / vnorm_sq;
+                for i in k..m {
+                    q_full[(j, i)] -= c * v[i - k];
+                }
+            }
+        }
+
+        // Zero out the strictly-lower triangle explicitly (it holds noise of
+        // magnitude ~EPS after the reflections).
+        for i in 0..n {
+            for j in 0..i {
+                r[(i, j)] = 0.0;
+            }
+        }
+
+        QrDecomposition { q: q_full.submatrix(0, m, 0, n), r: r.submatrix(0, n, 0, n) }
+    }
+
+    /// Reconstructs `Q R`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.q.matmul(&self.r)
+    }
+
+    /// Solves `R x = y` by back substitution.
+    ///
+    /// # Panics
+    /// If `R` is (numerically) singular or `y.len() != R.rows()`.
+    pub fn solve_upper(&self, y: &Vector) -> Vector {
+        let n = self.r.rows();
+        assert_eq!(y.len(), n, "rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.r[(i, j)] * xj;
+            }
+            let d = self.r[(i, i)];
+            assert!(d.abs() > crate::EPS, "singular R in back substitution (pivot {i})");
+            x[i] = acc / d;
+        }
+        Vector::from(x)
+    }
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` via thin QR.
+///
+/// # Panics
+/// If `A` has fewer rows than columns, if `b.len() != A.rows()`, or if `A`
+/// is numerically rank deficient.
+pub fn least_squares(a: &Matrix, b: &Vector) -> Vector {
+    assert_eq!(b.len(), a.rows(), "least_squares rhs length mismatch");
+    let qr = QrDecomposition::new(a);
+    let qtb = qr.q.transpose().mul_vec(b);
+    qr.solve_upper(&qtb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_square_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![1.0, 3.0, -2.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        let qr = QrDecomposition::new(&a);
+        assert!(qr.q.has_orthonormal_columns(1e-10));
+        assert!(qr.reconstruct().approx_eq(&a, 1e-10));
+        // R is upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_tall_matrix() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 2)) as f64 + if i == j { 5.0 } else { 0.0 });
+        let qr = QrDecomposition::new(&a);
+        assert_eq!(qr.q.shape(), (6, 3));
+        assert_eq!(qr.r.shape(), (3, 3));
+        assert!(qr.q.has_orthonormal_columns(1e-10));
+        assert!(qr.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn qr_identity_is_trivial() {
+        let i = Matrix::identity(4);
+        let qr = QrDecomposition::new(&i);
+        assert!(qr.reconstruct().approx_eq(&i, 1e-12));
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // x = (1, 2): A x = b exactly.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = least_squares(&a, &b);
+        assert!(x.approx_eq(&Vector::from(vec![1.0, 2.0]), 1e-10));
+    }
+
+    #[test]
+    fn least_squares_overdetermined_regression() {
+        // Fit y = 2t + 1 with noiseless samples.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { ts[i] } else { 1.0 });
+        let b: Vector = ts.iter().map(|t| 2.0 * t + 1.0).collect();
+        let x = least_squares(&a, &b);
+        assert!(crate::approx_eq(x[0], 2.0, 1e-10));
+        assert!(crate::approx_eq(x[1], 1.0, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_system_panics() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        least_squares(&a, &b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Second-order statistics over sample matrices.
+//!
+//! The bridge between the online component (SVD similarity) and ProPolyne:
+//! per §3.4.1 and Shao's observation, all second-order statistics (variance,
+//! covariance, PCA/SVD inputs) are derivable from SUMs of second-order
+//! polynomials. These helpers compute the same quantities directly, so tests
+//! and experiments can check that the range-sum route and the direct route
+//! agree.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Column means of a samples-by-variables matrix (`n × d` → length-`d`).
+pub fn column_means(samples: &Matrix) -> Vector {
+    let (n, d) = samples.shape();
+    if n == 0 {
+        return Vector::zeros(d);
+    }
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        for (j, m) in means.iter_mut().enumerate() {
+            *m += samples[(i, j)];
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    Vector::from(means)
+}
+
+/// Population covariance matrix of a samples-by-variables matrix.
+///
+/// `cov[j][k] = (1/n) Σᵢ (xᵢⱼ − μⱼ)(xᵢₖ − μₖ)` — the population (divide by
+/// `n`) convention, matching what a COUNT/SUM/SUM-of-products range-sum query
+/// reconstructs without needing `n−1`.
+///
+/// Returns the `d × d` zero matrix for an empty sample set.
+pub fn covariance_matrix(samples: &Matrix) -> Matrix {
+    let (n, d) = samples.shape();
+    if n == 0 {
+        return Matrix::zeros(d, d);
+    }
+    let mu = column_means(samples);
+    let mut cov = Matrix::zeros(d, d);
+    for i in 0..n {
+        for j in 0..d {
+            let xj = samples[(i, j)] - mu[j];
+            for k in j..d {
+                let xk = samples[(i, k)] - mu[k];
+                cov[(j, k)] += xj * xk;
+            }
+        }
+    }
+    let inv = 1.0 / n as f64;
+    for j in 0..d {
+        for k in j..d {
+            cov[(j, k)] *= inv;
+            cov[(k, j)] = cov[(j, k)];
+        }
+    }
+    cov
+}
+
+/// Uncentered second-moment (Gram) matrix `(1/n) XᵀX`.
+///
+/// This is exactly the matrix assembled from plain `SUM(xⱼ·xₖ)` range sums
+/// divided by `COUNT`, i.e. the quantity ProPolyne computes natively; the
+/// covariance follows by subtracting the outer product of the means.
+pub fn gram_matrix(samples: &Matrix) -> Matrix {
+    let (n, d) = samples.shape();
+    if n == 0 {
+        return Matrix::zeros(d, d);
+    }
+    let mut g = Matrix::zeros(d, d);
+    for i in 0..n {
+        for j in 0..d {
+            let xj = samples[(i, j)];
+            for k in j..d {
+                g[(j, k)] += xj * samples[(i, k)];
+            }
+        }
+    }
+    let inv = 1.0 / n as f64;
+    for j in 0..d {
+        for k in j..d {
+            g[(j, k)] *= inv;
+            g[(k, j)] = g[(j, k)];
+        }
+    }
+    g
+}
+
+/// Reconstructs the covariance matrix from the Gram matrix and the mean
+/// vector: `cov = gram − μ μᵀ`. This is the Shao reduction used by
+/// `aims-propolyne::stats`.
+pub fn covariance_from_moments(gram: &Matrix, means: &Vector) -> Matrix {
+    let d = means.len();
+    assert_eq!(gram.shape(), (d, d), "gram/mean dimension mismatch");
+    Matrix::from_fn(d, d, |j, k| gram[(j, k)] - means[j] * means[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ])
+    }
+
+    #[test]
+    fn means_are_columnwise() {
+        let mu = column_means(&samples());
+        assert!(mu.approx_eq(&Vector::from(vec![2.5, 5.0]), 1e-12));
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let cov = covariance_matrix(&samples());
+        // var(x) = 1.25, var(y) = 5.0, cov = 2.5 (population).
+        assert!(crate::approx_eq(cov[(0, 0)], 1.25, 1e-12));
+        assert!(crate::approx_eq(cov[(1, 1)], 5.0, 1e-12));
+        assert!(crate::approx_eq(cov[(0, 1)], 2.5, 1e-12));
+        assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+        // Perfect correlation: cov² = var·var.
+        assert!(crate::approx_eq(cov[(0, 1)] * cov[(0, 1)], cov[(0, 0)] * cov[(1, 1)], 1e-12));
+    }
+
+    #[test]
+    fn gram_minus_mean_outer_product_is_covariance() {
+        let x = samples();
+        let cov = covariance_matrix(&x);
+        let via_moments = covariance_from_moments(&gram_matrix(&x), &column_means(&x));
+        assert!(cov.approx_eq(&via_moments, 1e-12));
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(covariance_matrix(&empty), Matrix::zeros(3, 3));
+        assert_eq!(gram_matrix(&empty), Matrix::zeros(3, 3));
+        assert_eq!(column_means(&empty), Vector::zeros(3));
+
+        let one = Matrix::from_rows(&[vec![7.0, -1.0]]);
+        let cov = covariance_matrix(&one);
+        assert!(cov.approx_eq(&Matrix::zeros(2, 2), 1e-12));
+    }
+
+    #[test]
+    fn covariance_is_positive_semidefinite() {
+        let x = Matrix::from_rows(&[
+            vec![0.3, -1.2, 2.0],
+            vec![1.7, 0.4, -0.5],
+            vec![-0.8, 2.2, 1.1],
+            vec![0.9, -0.6, 0.0],
+            vec![2.1, 1.0, -1.4],
+        ]);
+        let cov = covariance_matrix(&x);
+        let eig = crate::eigen::symmetric_eigen(&cov);
+        for &l in &eig.eigenvalues {
+            assert!(l >= -1e-10, "negative eigenvalue {l}");
+        }
+    }
+}

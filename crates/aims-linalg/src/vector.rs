@@ -1,0 +1,314 @@
+//! Dense vector type used across the AIMS linear-algebra kernel.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense `f64` vector.
+///
+/// A thin wrapper over `Vec<f64>` providing the dot products, norms and
+/// elementwise arithmetic the SVD and similarity code need.
+#[derive(Clone, PartialEq, Default)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector(vec![0.0; n])
+    }
+
+    /// Creates a vector of length `n` filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector(vec![value; n])
+    }
+
+    /// Creates the `i`-th standard basis vector of length `n`.
+    ///
+    /// # Panics
+    /// If `i >= n`.
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of bounds for length {n}");
+        let mut v = Vector::zeros(n);
+        v[i] = 1.0;
+        v
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrows the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning the backing `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    /// If lengths differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot product length mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_inf(&self) -> f64 {
+        self.0.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Scales the vector in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.0 {
+            *x *= s;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, s: f64) -> Vector {
+        let mut v = self.clone();
+        v.scale(s);
+        v
+    }
+
+    /// Normalizes in place to unit L2 norm, returning the original norm.
+    /// A zero (or near-zero) vector is left untouched.
+    pub fn normalize(&mut self) -> f64 {
+        let n = self.norm();
+        if n > crate::EPS {
+            self.scale(1.0 / n);
+        }
+        n
+    }
+
+    /// `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Panics
+    /// If lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy length mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Arithmetic mean of the entries; `0.0` for an empty vector.
+    pub fn mean(&self) -> f64 {
+        if self.0.is_empty() {
+            0.0
+        } else {
+            self.0.iter().sum::<f64>() / self.0.len() as f64
+        }
+    }
+
+    /// Population variance of the entries; `0.0` for an empty vector.
+    pub fn variance(&self) -> f64 {
+        if self.0.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.0.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.0.len() as f64
+    }
+
+    /// `true` when entries agree pairwise to within `tol`.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Vector(v.to_vec())
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector(iter.into_iter().collect())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        Vector(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        Vector(self.0.iter().zip(&rhs.0).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        self.scaled(s)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[")?;
+        for (i, x) in self.0.iter().take(12).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.0.len() > 12 {
+            write!(f, ", … ({} total)", self.0.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Vector::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1], 2.0);
+        assert!(!v.is_empty());
+        assert!(Vector::zeros(0).is_empty());
+        let b = Vector::basis(4, 2);
+        assert_eq!(b.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn basis_out_of_bounds_panics() {
+        Vector::basis(3, 3);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from(vec![3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut v = Vector::from(vec![0.0, 3.0, 4.0]);
+        let n = v.normalize();
+        assert_eq!(n, 5.0);
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+
+        let mut z = Vector::zeros(3);
+        assert_eq!(z.normalize(), 0.0);
+        assert_eq!(z, Vector::zeros(3));
+    }
+
+    #[test]
+    fn axpy_and_operators() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![10.0, 20.0]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.as_slice(), &[6.0, 12.0]);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut d = a.clone();
+        d += &b;
+        d -= &b;
+        assert!(d.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let v = Vector::from(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.mean(), 2.5);
+        assert_eq!(v.variance(), 1.25);
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+        assert_eq!(Vector::zeros(0).variance(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: Vector = (0..4).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+}

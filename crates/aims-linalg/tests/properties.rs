@@ -1,0 +1,155 @@
+//! Property-based tests of the linear-algebra kernel.
+
+use proptest::prelude::*;
+
+use aims_linalg::{symmetric_eigen, IncrementalSvd, Matrix, QrDecomposition, Svd, Vector};
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0_f64..50.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A = UΣVᵀ with orthonormal U/V and sorted σ, for arbitrary shapes.
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy(8)) {
+        let svd = Svd::compute(&a);
+        prop_assert!(svd.u.has_orthonormal_columns(1e-7));
+        prop_assert!(svd.v.has_orthonormal_columns(1e-7));
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for &s in &svd.singular_values {
+            prop_assert!(s >= 0.0);
+        }
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-6 * scale));
+    }
+
+    /// Parseval for the SVD: Σσ² equals the squared Frobenius norm.
+    #[test]
+    fn svd_energy(a in matrix_strategy(7)) {
+        let svd = Svd::compute(&a);
+        let sv_energy: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        prop_assert!((sv_energy - a.energy()).abs() < 1e-6 * a.energy().max(1.0));
+    }
+
+    /// Eckart–Young: the rank-k truncation error is the discarded σ².
+    #[test]
+    fn svd_truncation_error(a in matrix_strategy(6), k in 0usize..6) {
+        let svd = Svd::compute(&a);
+        let k = k.min(svd.len());
+        let err = (&a - &svd.reconstruct_rank(k)).energy();
+        let expect: f64 = svd.singular_values.iter().skip(k).map(|s| s * s).sum();
+        prop_assert!((err - expect).abs() < 1e-5 * a.energy().max(1.0));
+    }
+
+    /// QR: Q orthonormal, R upper-triangular, QR = A (tall shapes).
+    #[test]
+    fn qr_reconstructs(
+        (rows, cols) in (1usize..=8).prop_flat_map(|c| ((c..=8), Just(c))),
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(6364136223846793005).max(1);
+        let a = Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 50.0 - 10.0
+        });
+        let qr = QrDecomposition::new(&a);
+        prop_assert!(qr.q.has_orthonormal_columns(1e-8));
+        for i in 0..cols {
+            for j in 0..i {
+                prop_assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+        prop_assert!(qr.reconstruct().approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
+    }
+
+    /// Symmetric eigen: QΛQᵀ = A, Q orthonormal, trace preserved.
+    #[test]
+    fn eigen_reconstructs(n in 1usize..=7, seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(2862933555777941757).max(1);
+        let half = Matrix::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100) as f64 / 10.0 - 5.0
+        });
+        // Symmetrize.
+        let a = Matrix::from_fn(n, n, |i, j| (half[(i, j)] + half[(j, i)]) / 2.0);
+        let e = symmetric_eigen(&a);
+        prop_assert!(e.eigenvectors.has_orthonormal_columns(1e-8));
+        prop_assert!(e.reconstruct().approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
+        let tr: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((tr - a.trace()).abs() < 1e-8 * a.trace().abs().max(1.0));
+    }
+
+    /// Incremental SVD singular values match the batch values when no
+    /// truncation occurs.
+    #[test]
+    fn incremental_matches_batch(a in matrix_strategy(6)) {
+        let mut inc = IncrementalSvd::new(a.rows(), a.rows());
+        inc.append_matrix(&a);
+        let batch = Svd::compute(&a);
+        let scale = batch.singular_values.first().copied().unwrap_or(1.0).max(1e-9);
+        // Compare the significant singular values.
+        for (i, sb) in batch.singular_values.iter().enumerate() {
+            if *sb < 1e-9 * scale {
+                break;
+            }
+            prop_assert!(i < inc.singular_values().len(), "missing σ{}", i);
+            let si = inc.singular_values()[i];
+            prop_assert!(
+                (si - sb).abs() < 1e-6 * scale,
+                "σ{}: {} vs {}", i, si, sb
+            );
+        }
+    }
+
+    /// Matrix multiplication is associative and distributes over addition.
+    #[test]
+    fn matmul_laws(seed in 0u64..500, n in 1usize..=5) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut gen = || {
+            Matrix::from_fn(n, n, |_, _| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 19) as f64 - 9.0
+            })
+        };
+        let (a, b, c) = (gen(), gen(), gen());
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-6 * left.max_abs().max(1.0)));
+        let dist_l = a.matmul(&(&b + &c));
+        let dist_r = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(dist_l.approx_eq(&dist_r, 1e-6 * dist_l.max_abs().max(1.0)));
+    }
+
+    /// Cauchy–Schwarz over random vectors.
+    #[test]
+    fn cauchy_schwarz(
+        a in prop::collection::vec(-10.0_f64..10.0, 1..32),
+        seed in 0u64..100,
+    ) {
+        let n = a.len();
+        let mut state = seed.max(1);
+        let b: Vector = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 21) as f64 - 10.0
+            })
+            .collect();
+        let a = Vector::from(a);
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+}

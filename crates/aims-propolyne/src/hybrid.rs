@@ -1,0 +1,295 @@
+//! Hybrid standard-basis / wavelet-basis ProPolyne (§3.3.1).
+//!
+//! "We propose to develop a hybrid version of ProPolyne which uses the
+//! standard basis in a subset of the dimensions (the standard dimensions)
+//! and uses wavelets in all other dimensions. … relational selection and
+//! aggregation operators can be used in the standard dimensions to
+//! accumulate the results of ProPolyne queries in the other dimensions.
+//! Clearly the best choice of hybridization will perform at least as well
+//! as a pure relational algorithm or pure ProPolyne."
+//!
+//! Implementation: the relation is grouped by the (binned) values of the
+//! standard dimensions; each group's remaining attributes form a wavelet
+//! cube. A query selects matching groups relationally and runs ProPolyne
+//! inside each. The cost model counts *touched coefficients* (wavelet
+//! side) and *touched tuples* (relational side), so the three plans are
+//! comparable; the decomposition chooser of the paper is
+//! [`choose_standard_dims`], run at population time.
+
+use std::collections::BTreeMap;
+
+use crate::cube::{AttributeSpace, DataCube};
+use crate::engine::Propolyne;
+use crate::query::{Monomial, RangeSumQuery};
+
+/// Cost + answer of one evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridAnswer {
+    /// The query result.
+    pub value: f64,
+    /// Wavelet coefficients touched.
+    pub coefficients_touched: usize,
+    /// Groups (standard-dimension cells) visited.
+    pub groups_visited: usize,
+}
+
+/// A relation decomposed into standard dimensions + per-group wavelet
+/// cubes.
+pub struct HybridEngine {
+    /// Indices (into the full attribute list) kept in the standard basis.
+    standard_dims: Vec<usize>,
+    /// Indices transformed with wavelets.
+    wavelet_dims: Vec<usize>,
+    /// Attribute space of the full relation.
+    space: AttributeSpace,
+    /// Group key (standard-dim bins) → evaluator over the wavelet dims.
+    groups: BTreeMap<Vec<usize>, Propolyne>,
+}
+
+impl HybridEngine {
+    /// Builds the hybrid decomposition from raw tuples.
+    ///
+    /// # Panics
+    /// If `standard_dims` contains duplicates or out-of-range indices.
+    pub fn build(
+        space: &AttributeSpace,
+        tuples: &[Vec<f64>],
+        standard_dims: &[usize],
+        filter: &aims_dsp::filters::WaveletFilter,
+    ) -> Self {
+        let arity = space.arity();
+        let mut seen = vec![false; arity];
+        for &d in standard_dims {
+            assert!(d < arity, "standard dim {d} out of range");
+            assert!(!seen[d], "duplicate standard dim {d}");
+            seen[d] = true;
+        }
+        let wavelet_dims: Vec<usize> = (0..arity).filter(|&d| !seen[d]).collect();
+        assert!(!wavelet_dims.is_empty(), "at least one wavelet dimension required");
+
+        // Partition tuples by standard-dim bin key.
+        let mut buckets: BTreeMap<Vec<usize>, Vec<Vec<f64>>> = BTreeMap::new();
+        for t in tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+            let key: Vec<usize> = standard_dims.iter().map(|&d| space.bin(d, t[d])).collect();
+            let sub: Vec<f64> = wavelet_dims.iter().map(|&d| t[d]).collect();
+            buckets.entry(key).or_default().push(sub);
+        }
+
+        let sub_space = AttributeSpace::new(
+            wavelet_dims.iter().map(|&d| space.bounds[d]).collect(),
+            wavelet_dims.iter().map(|&d| space.dims[d]).collect(),
+        );
+        let groups = buckets
+            .into_iter()
+            .map(|(key, rows)| {
+                let cube = DataCube::from_tuples(&sub_space, rows);
+                (key, Propolyne::new(cube.transform(filter)))
+            })
+            .collect();
+
+        HybridEngine {
+            standard_dims: standard_dims.to_vec(),
+            wavelet_dims,
+            space: space.clone(),
+            groups,
+        }
+    }
+
+    /// Number of groups materialized.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The standard dimensions.
+    pub fn standard_dims(&self) -> &[usize] {
+        &self.standard_dims
+    }
+
+    /// Evaluates a full-arity range-sum query: relational selection over
+    /// the standard dimensions, ProPolyne within each surviving group.
+    ///
+    /// # Panics
+    /// If the query does not match the full attribute space.
+    pub fn evaluate(&self, query: &RangeSumQuery) -> HybridAnswer {
+        query.validate(
+            &(0..self.space.arity()).map(|k| self.space.dims[k]).collect::<Vec<_>>(),
+        );
+        // Project the query onto the wavelet dims.
+        let sub_ranges: Vec<(usize, usize)> =
+            self.wavelet_dims.iter().map(|&d| query.ranges[d]).collect();
+
+        let mut value = 0.0;
+        let mut coefficients = 0usize;
+        let mut groups = 0usize;
+        'group: for (key, engine) in &self.groups {
+            // Relational selection on the standard dims.
+            for (pos, &d) in self.standard_dims.iter().enumerate() {
+                let (a, b) = query.ranges[d];
+                if key[pos] < a || key[pos] > b {
+                    continue 'group;
+                }
+            }
+            groups += 1;
+
+            // Each term: standard-dim factors evaluate at the group key;
+            // wavelet-dim factors stay polynomial.
+            let sub_terms: Vec<Monomial> = query
+                .terms
+                .iter()
+                .map(|t| {
+                    let mut coef = t.coef;
+                    for (pos, &d) in self.standard_dims.iter().enumerate() {
+                        coef *= t.factors[d].eval(key[pos] as f64);
+                    }
+                    Monomial {
+                        coef,
+                        factors: self.wavelet_dims.iter().map(|&d| t.factors[d].clone()).collect(),
+                    }
+                })
+                .collect();
+            let sub_query = RangeSumQuery { ranges: sub_ranges.clone(), terms: sub_terms };
+            let prepared = engine.prepare(&sub_query);
+            coefficients += prepared.nnz();
+            value += engine.evaluate_prepared(&prepared);
+        }
+        HybridAnswer { value, coefficients_touched: coefficients, groups_visited: groups }
+    }
+}
+
+/// Population-time chooser: dimensions whose distinct-bin count is at most
+/// `max_cardinality` become standard dimensions (the paper's "algorithm
+/// which efficiently identifies good dimension decompositions as part of
+/// the database population process"). At least one dimension always stays
+/// on the wavelet side.
+pub fn choose_standard_dims(
+    space: &AttributeSpace,
+    tuples: &[Vec<f64>],
+    max_cardinality: usize,
+) -> Vec<usize> {
+    let arity = space.arity();
+    let mut distinct: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); arity];
+    for t in tuples {
+        for (k, set) in distinct.iter_mut().enumerate() {
+            set.insert(space.bin(k, t[k]));
+        }
+    }
+    let mut chosen: Vec<usize> = (0..arity)
+        .filter(|&k| distinct[k].len() <= max_cardinality)
+        .collect();
+    if chosen.len() == arity {
+        // Keep the highest-cardinality dimension on the wavelet side.
+        let keep = (0..arity).max_by_key(|&k| distinct[k].len()).unwrap();
+        chosen.retain(|&k| k != keep);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aims_dsp::filters::FilterKind;
+    use aims_dsp::poly::Polynomial;
+
+    /// Sensor-style relation: (sensor_id, time, value) with few sensors.
+    fn relation() -> (AttributeSpace, Vec<Vec<f64>>) {
+        let space = AttributeSpace::new(
+            vec![(0.0, 4.0), (0.0, 256.0), (0.0, 64.0)],
+            vec![4, 256, 64],
+        );
+        let tuples: Vec<Vec<f64>> = (0..2000)
+            .map(|i| {
+                let sensor = (i % 4) as f64 + 0.5;
+                let time = (i / 4) as f64 % 256.0 + 0.5;
+                let value = (32.0 + 20.0 * ((i as f64) * 0.01).sin()).floor() + 0.5;
+                vec![sensor, time, value]
+            })
+            .collect();
+        (space, tuples)
+    }
+
+    #[test]
+    fn hybrid_matches_scan() {
+        let (space, tuples) = relation();
+        let hybrid = HybridEngine::build(&space, &tuples, &[0], &FilterKind::Db4.filter());
+        let cube = DataCube::from_tuples(&space, tuples.clone());
+        let q = RangeSumQuery::count(vec![(1, 2), (10, 200), (0, 63)]);
+        let ans = hybrid.evaluate(&q);
+        assert!((ans.value - q.eval_scan(&cube)).abs() < 1e-6 * ans.value.abs().max(1.0));
+        assert_eq!(ans.groups_visited, 2);
+    }
+
+    #[test]
+    fn hybrid_polynomial_terms_match_scan() {
+        let (space, tuples) = relation();
+        let hybrid = HybridEngine::build(&space, &tuples, &[0], &FilterKind::Db6.filter());
+        let cube = DataCube::from_tuples(&space, tuples.clone());
+        // Σ sensor_id · value over a sub-rectangle: involves a standard dim
+        // factor and a wavelet dim factor.
+        let q = RangeSumQuery::sum_product(
+            vec![(0, 3), (0, 255), (5, 60)],
+            0,
+            Polynomial::monomial(1),
+            2,
+            Polynomial::monomial(1),
+        );
+        let ans = hybrid.evaluate(&q);
+        let expect = q.eval_scan(&cube);
+        assert!(
+            (ans.value - expect).abs() < 1e-5 * expect.abs().max(1.0),
+            "{} vs {expect}",
+            ans.value
+        );
+    }
+
+    #[test]
+    fn selective_standard_predicate_prunes_groups() {
+        let (space, tuples) = relation();
+        let hybrid = HybridEngine::build(&space, &tuples, &[0], &FilterKind::Db4.filter());
+        let narrow = RangeSumQuery::count(vec![(1, 1), (0, 255), (0, 63)]);
+        let wide = RangeSumQuery::count(vec![(0, 3), (0, 255), (0, 63)]);
+        let a_narrow = hybrid.evaluate(&narrow);
+        let a_wide = hybrid.evaluate(&wide);
+        assert_eq!(a_narrow.groups_visited, 1);
+        assert_eq!(a_wide.groups_visited, 4);
+        assert!(a_narrow.coefficients_touched < a_wide.coefficients_touched);
+    }
+
+    #[test]
+    fn hybrid_touches_fewer_coefficients_than_pure_propolyne() {
+        // Pure ProPolyne over (sensor, time, value) pays a per-dimension
+        // factor for the 4-bin sensor dimension; the hybrid removes it
+        // entirely for single-sensor queries.
+        let (space, tuples) = relation();
+        let hybrid = HybridEngine::build(&space, &tuples, &[0], &FilterKind::Db4.filter());
+        let cube = DataCube::from_tuples(&space, tuples);
+        let pure = Propolyne::new(cube.transform(&FilterKind::Db4.filter()));
+        let q = RangeSumQuery::count(vec![(1, 1), (10, 200), (5, 60)]);
+        let hybrid_cost = hybrid.evaluate(&q).coefficients_touched;
+        let pure_cost = pure.prepare(&q).nnz();
+        assert!(
+            hybrid_cost < pure_cost,
+            "hybrid {hybrid_cost} !< pure {pure_cost} for a selective sensor query"
+        );
+    }
+
+    #[test]
+    fn chooser_picks_low_cardinality_dims() {
+        let (space, tuples) = relation();
+        let chosen = choose_standard_dims(&space, &tuples, 16);
+        assert_eq!(chosen, vec![0]);
+        // With a huge threshold everything qualifies, but one wavelet dim
+        // must remain.
+        let all = choose_standard_dims(&space, &tuples, usize::MAX);
+        assert_eq!(all.len(), 2);
+        assert!(!all.contains(&1)); // time has the highest cardinality
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wavelet dimension")]
+    fn all_standard_dims_panics() {
+        let (space, tuples) = relation();
+        HybridEngine::build(&space, &tuples, &[0, 1, 2], &FilterKind::Haar.filter());
+    }
+}

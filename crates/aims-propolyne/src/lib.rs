@@ -1,0 +1,43 @@
+//! ProPolyne: progressive polynomial range-sum evaluation in the wavelet
+//! domain (paper §3.3; Schmidt & Shahabi, EDBT'02/PODS'02).
+//!
+//! The core idea the AIMS paper builds on: a polynomial range-sum
+//! `Σ_{x∈R} p(x)·f(x)` over a data cube `f` is the inner product of `f`
+//! with a *query vector* that is a piecewise polynomial. Orthonormal
+//! wavelet transforms preserve inner products, so the sum can be evaluated
+//! entirely in the wavelet domain — and "when the wavelet filter is chosen
+//! to satisfy an appropriate moment condition, most of the query wavelet
+//! coefficients vanish", leaving only O(filter·log N) nonzeros per
+//! dimension, computed by the **lazy wavelet transform** in polylogarithmic
+//! time.
+//!
+//! - [`lazy`]: the lazy wavelet transform of piecewise-polynomial query
+//!   vectors (the paper's central algorithm).
+//! - [`cube`]: multidimensional frequency/data cubes and their
+//!   tensor-product wavelet transform.
+//! - [`query`]: polynomial range-sum queries (ranges × monomials).
+//! - [`engine`]: exact, approximate and progressive evaluation.
+//! - [`stats`]: COUNT/SUM/AVERAGE/VARIANCE/COVARIANCE via the Shao
+//!   reduction to second-order polynomial range-sums (§3.4.1).
+//! - [`synopsis`]: the wavelet *data approximation* baseline ProPolyne is
+//!   compared against.
+//! - [`hybrid`]: the standard-basis/wavelet-basis hybrid of §3.3.1.
+//! - [`batch`]: multi-query (group-by / drill-down) evaluation with shared
+//!   coefficient retrieval (§3.3.1).
+//! - [`packet`]: the wavelet-packet generalization — per-dimension best
+//!   bases from the DWPT library (§3.3.1).
+
+pub mod batch;
+pub mod cube;
+pub mod engine;
+pub mod hybrid;
+pub mod lazy;
+pub mod packet;
+pub mod query;
+pub mod stats;
+pub mod synopsis;
+
+pub use cube::{DataCube, WaveletCube};
+pub use engine::{ProgressiveEvaluation, Propolyne};
+pub use lazy::{lazy_transform, HybridSignal, SparseVector};
+pub use query::{Monomial, RangeSumQuery};

@@ -1,0 +1,244 @@
+//! Statistical aggregates via polynomial range-sums.
+//!
+//! ProPolyne supports "not only COUNT, SUM and AVERAGE, but also VARIANCE,
+//! COVARIANCE and more" (§3.3), and §3.4.1 leans on Shao's observation that
+//! "all second order statistical aggregation functions (including
+//! hypothesis testing, principle component analysis or SVD, and ANOVA) can
+//! be derived from SUM queries of second order polynomials in the measure
+//! attributes". This module performs exactly that reduction: every
+//! statistic below is assembled from plain polynomial range-sums against
+//! the frequency cube, evaluated in the wavelet domain.
+
+use aims_linalg::Matrix;
+
+use crate::cube::AttributeSpace;
+use crate::engine::Propolyne;
+use crate::query::RangeSumQuery;
+
+/// Statistics engine over one cube + attribute space.
+#[derive(Clone, Debug)]
+pub struct CubeStats<'a> {
+    engine: &'a Propolyne,
+    space: &'a AttributeSpace,
+}
+
+impl<'a> CubeStats<'a> {
+    /// Binds an evaluator and its attribute space.
+    ///
+    /// # Panics
+    /// If the space's dimensions disagree with the cube's.
+    pub fn new(engine: &'a Propolyne, space: &'a AttributeSpace) -> Self {
+        assert_eq!(engine.cube().dims(), &space.dims[..], "space/cube shape mismatch");
+        CubeStats { engine, space }
+    }
+
+    /// Tuple count in the bin rectangle.
+    pub fn count(&self, ranges: &[(usize, usize)]) -> f64 {
+        self.engine.evaluate(&RangeSumQuery::count(ranges.to_vec()))
+    }
+
+    /// `Σ x_dim` (in attribute-value units).
+    pub fn sum(&self, dim: usize, ranges: &[(usize, usize)]) -> f64 {
+        let q = RangeSumQuery::sum_poly(ranges.to_vec(), dim, self.space.value_poly(dim));
+        self.engine.evaluate(&q)
+    }
+
+    /// `Σ x_dim²`.
+    pub fn sum_squares(&self, dim: usize, ranges: &[(usize, usize)]) -> f64 {
+        let v = self.space.value_poly(dim);
+        let q = RangeSumQuery::sum_poly(ranges.to_vec(), dim, v.mul(&v));
+        self.engine.evaluate(&q)
+    }
+
+    /// `Σ x_d1 · x_d2` for distinct dimensions.
+    pub fn sum_cross(&self, d1: usize, d2: usize, ranges: &[(usize, usize)]) -> f64 {
+        let q = RangeSumQuery::sum_product(
+            ranges.to_vec(),
+            d1,
+            self.space.value_poly(d1),
+            d2,
+            self.space.value_poly(d2),
+        );
+        self.engine.evaluate(&q)
+    }
+
+    /// AVERAGE of `x_dim`; `None` over an empty selection.
+    pub fn average(&self, dim: usize, ranges: &[(usize, usize)]) -> Option<f64> {
+        let n = self.count(ranges);
+        if n <= 0.0 {
+            None
+        } else {
+            Some(self.sum(dim, ranges) / n)
+        }
+    }
+
+    /// Population VARIANCE of `x_dim`; `None` over an empty selection.
+    pub fn variance(&self, dim: usize, ranges: &[(usize, usize)]) -> Option<f64> {
+        let n = self.count(ranges);
+        if n <= 0.0 {
+            return None;
+        }
+        let mean = self.sum(dim, ranges) / n;
+        Some((self.sum_squares(dim, ranges) / n - mean * mean).max(0.0))
+    }
+
+    /// Population COVARIANCE of two distinct dimensions; `None` over an
+    /// empty selection.
+    pub fn covariance(&self, d1: usize, d2: usize, ranges: &[(usize, usize)]) -> Option<f64> {
+        let n = self.count(ranges);
+        if n <= 0.0 {
+            return None;
+        }
+        let m1 = self.sum(d1, ranges) / n;
+        let m2 = self.sum(d2, ranges) / n;
+        Some(self.sum_cross(d1, d2, ranges) / n - m1 * m2)
+    }
+
+    /// The full covariance matrix over a subset of dimensions — the input
+    /// the online component's SVD/PCA needs (§3.4.1), assembled purely
+    /// from second-order range-sums.
+    ///
+    /// Returns `None` over an empty selection.
+    pub fn covariance_matrix(&self, dims: &[usize], ranges: &[(usize, usize)]) -> Option<Matrix> {
+        let n = self.count(ranges);
+        if n <= 0.0 {
+            return None;
+        }
+        let means: Vec<f64> = dims.iter().map(|&d| self.sum(d, ranges) / n).collect();
+        let mut cov = Matrix::zeros(dims.len(), dims.len());
+        for (a, &da) in dims.iter().enumerate() {
+            for (b, &db) in dims.iter().enumerate().skip(a) {
+                let second = if da == db {
+                    self.sum_squares(da, ranges) / n
+                } else {
+                    self.sum_cross(da, db, ranges) / n
+                };
+                let c = second - means[a] * means[b];
+                cov[(a, b)] = c;
+                cov[(b, a)] = c;
+            }
+        }
+        Some(cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::DataCube;
+    use aims_dsp::filters::FilterKind;
+
+    /// Tuples with known statistics, plus the scan-side reference.
+    fn setup() -> (Vec<Vec<f64>>, AttributeSpace) {
+        let space = AttributeSpace::new(vec![(0.0, 64.0), (0.0, 64.0)], vec![64, 64]);
+        let tuples: Vec<Vec<f64>> = (0..800)
+            .map(|i| {
+                let x = (i * 7 % 64) as f64 + 0.5; // exactly at bin centers
+                let y = ((i * 7 % 64) as f64 * 0.5 + (i % 13) as f64) % 64.0;
+                let y = y.floor() + 0.5;
+                vec![x, y]
+            })
+            .collect();
+        (tuples, space)
+    }
+
+    fn reference_stats(
+        tuples: &[Vec<f64>],
+        space: &AttributeSpace,
+        ranges: &[(usize, usize)],
+    ) -> (f64, f64, f64, f64, f64) {
+        // Compare against bin-center values (the cube's resolution).
+        let selected: Vec<(f64, f64)> = tuples
+            .iter()
+            .filter(|t| {
+                (0..2).all(|k| {
+                    let b = space.bin(k, t[k]);
+                    b >= ranges[k].0 && b <= ranges[k].1
+                })
+            })
+            .map(|t| (space.bin_center(0, space.bin(0, t[0])), space.bin_center(1, space.bin(1, t[1]))))
+            .collect();
+        let n = selected.len() as f64;
+        let sum_x: f64 = selected.iter().map(|p| p.0).sum();
+        let mean_x = sum_x / n;
+        let var_x = selected.iter().map(|p| (p.0 - mean_x) * (p.0 - mean_x)).sum::<f64>() / n;
+        let mean_y = selected.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = selected
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum::<f64>()
+            / n;
+        (n, sum_x, mean_x, var_x, cov)
+    }
+
+    #[test]
+    fn all_five_aggregates_match_reference() {
+        let (tuples, space) = setup();
+        let cube = DataCube::from_tuples(&space, tuples.clone());
+        let engine = Propolyne::new(cube.transform(&FilterKind::Db6.filter()));
+        let stats = CubeStats::new(&engine, &space);
+        let ranges = [(5usize, 55usize), (0usize, 63usize)];
+        let (n, sum_x, mean_x, var_x, cov) = reference_stats(&tuples, &space, &ranges);
+
+        let tol = |x: f64| 1e-5 * x.abs().max(1.0);
+        assert!((stats.count(&ranges) - n).abs() < tol(n));
+        assert!((stats.sum(0, &ranges) - sum_x).abs() < tol(sum_x));
+        assert!((stats.average(0, &ranges).unwrap() - mean_x).abs() < tol(mean_x));
+        assert!(
+            (stats.variance(0, &ranges).unwrap() - var_x).abs() < tol(var_x),
+            "var {} vs {}",
+            stats.variance(0, &ranges).unwrap(),
+            var_x
+        );
+        assert!(
+            (stats.covariance(0, 1, &ranges).unwrap() - cov).abs() < tol(cov).max(1e-3),
+            "cov {} vs {}",
+            stats.covariance(0, 1, &ranges).unwrap(),
+            cov
+        );
+    }
+
+    #[test]
+    fn empty_selection_returns_none() {
+        let space = AttributeSpace::new(vec![(0.0, 8.0), (0.0, 8.0)], vec![8, 8]);
+        let cube = DataCube::from_tuples(&space, vec![vec![0.1, 0.1]]);
+        let engine = Propolyne::new(cube.transform(&FilterKind::Db4.filter()));
+        let stats = CubeStats::new(&engine, &space);
+        let far = [(7usize, 7usize), (7usize, 7usize)];
+        assert!(stats.average(0, &far).is_none());
+        assert!(stats.variance(0, &far).is_none());
+        assert!(stats.covariance(0, 1, &far).is_none());
+        assert!(stats.covariance_matrix(&[0, 1], &far).is_none());
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric_psd_diag() {
+        let (tuples, space) = setup();
+        let cube = DataCube::from_tuples(&space, tuples);
+        let engine = Propolyne::new(cube.transform(&FilterKind::Db6.filter()));
+        let stats = CubeStats::new(&engine, &space);
+        let ranges = [(0usize, 63usize), (0usize, 63usize)];
+        let cov = stats.covariance_matrix(&[0, 1], &ranges).unwrap();
+        assert_eq!(cov.shape(), (2, 2));
+        assert!((cov[(0, 1)] - cov[(1, 0)]).abs() < 1e-9);
+        assert!(cov[(0, 0)] >= 0.0 && cov[(1, 1)] >= 0.0);
+        // Diagonal equals the scalar variances.
+        assert!((cov[(0, 0)] - stats.variance(0, &ranges).unwrap()).abs() < 1e-6);
+        assert!((cov[(1, 1)] - stats.variance(1, &ranges).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_constant_column_is_zero() {
+        let space = AttributeSpace::new(vec![(0.0, 16.0), (0.0, 16.0)], vec![16, 16]);
+        let tuples: Vec<Vec<f64>> = (0..50).map(|i| vec![8.5, (i % 16) as f64 + 0.5]).collect();
+        let cube = DataCube::from_tuples(&space, tuples);
+        let engine = Propolyne::new(cube.transform(&FilterKind::Db6.filter()));
+        let stats = CubeStats::new(&engine, &space);
+        let ranges = [(0usize, 15usize), (0usize, 15usize)];
+        let v = stats.variance(0, &ranges).unwrap();
+        assert!(v.abs() < 1e-6, "variance {v}");
+        // Covariance with anything is 0 too.
+        let c = stats.covariance(0, 1, &ranges).unwrap();
+        assert!(c.abs() < 1e-6, "covariance {c}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Parametric American Sign Language vocabulary.
+//!
+//! §2.2 of the AIMS paper uses ASL signs as "examples of well-defined hand
+//! motions": a sign is a hand shape (most alphabet letters are static
+//! shapes) optionally combined with a hand movement (color signs add wrist
+//! twists to a letter shape). This module models a sign as exactly that —
+//! a target [`HandShape`] plus a [`WristMotion`] — and generates noisy,
+//! variable-duration instances and continuous signing streams with ground
+//! truth, since "a sequence for one hand motion has no fixed length" (§1.2).
+
+use crate::glove::{CyberGloveRig, HandShape, WristMotion};
+use crate::noise::NoiseSource;
+use crate::types::MultiStream;
+
+/// One sign in the vocabulary.
+#[derive(Clone, Debug)]
+pub struct AslSign {
+    /// Sign name (e.g. "G", "GREEN").
+    pub name: String,
+    /// Target hand shape.
+    pub shape: HandShape,
+    /// Hand movement component (still for most letters).
+    pub motion: WristMotion,
+    /// Nominal duration in seconds; instances vary around it.
+    pub base_duration_s: f64,
+}
+
+/// A generated instance of a sign.
+#[derive(Clone, Debug)]
+pub struct SignInstance {
+    /// Index of the sign in its vocabulary.
+    pub label: usize,
+    /// The 28-channel recording.
+    pub stream: MultiStream,
+}
+
+/// Ground truth for one sign inside a continuous stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegmentTruth {
+    /// Vocabulary index of the sign.
+    pub label: usize,
+    /// First frame of the sign (inclusive).
+    pub start: usize,
+    /// One past the last frame of the sign.
+    pub end: usize,
+}
+
+/// A library of known motions ("vocabulary", §2.2) together with the rig
+/// that records them.
+#[derive(Clone, Debug)]
+pub struct AslVocabulary {
+    /// The signs, index = label.
+    pub signs: Vec<AslSign>,
+    /// The simulated capture rig.
+    pub rig: CyberGloveRig,
+}
+
+fn letter_shape(pattern: &[(usize, f64)]) -> HandShape {
+    let mut shape = HandShape::fist();
+    for &(joint, angle) in pattern {
+        shape.joints[joint] = angle;
+    }
+    shape
+}
+
+impl AslVocabulary {
+    /// A small hand-crafted vocabulary: static letter shapes plus the
+    /// motion-bearing color signs the paper singles out (GREEN = "G" with
+    /// the wrist twisting twice, YELLOW = "Y" likewise).
+    pub fn standard(rig: CyberGloveRig) -> Self {
+        // "A": fist with thumb alongside.
+        let mut signs = vec![AslSign {
+            name: "A".into(),
+            shape: letter_shape(&[(0, 20.0), (1, 15.0), (2, 10.0)]),
+            motion: WristMotion::still(),
+            base_duration_s: 0.8,
+        }];
+        // "B": flat hand, fingers extended, thumb across palm.
+        signs.push(AslSign {
+            name: "B".into(),
+            shape: letter_shape(&[
+                (4, 5.0), (5, 5.0), (6, 5.0),   // index extended
+                (7, 5.0), (8, 5.0), (9, 5.0),   // middle extended
+                (11, 5.0), (12, 5.0), (13, 5.0), // ring extended
+                (15, 5.0), (16, 5.0), (17, 5.0), // pinky extended
+                (0, 60.0), (1, 70.0),            // thumb folded
+            ]),
+            motion: WristMotion::still(),
+            base_duration_s: 0.8,
+        });
+        // "G": index extended horizontally, thumb parallel.
+        signs.push(AslSign {
+            name: "G".into(),
+            shape: letter_shape(&[(4, 8.0), (5, 8.0), (6, 8.0), (0, 15.0), (1, 20.0), (2, 15.0)]),
+            motion: WristMotion::still(),
+            base_duration_s: 0.8,
+        });
+        // "Y": thumb and pinky extended.
+        signs.push(AslSign {
+            name: "Y".into(),
+            shape: letter_shape(&[
+                (0, 5.0), (1, 8.0), (2, 8.0),    // thumb out
+                (15, 5.0), (16, 5.0), (17, 5.0), // pinky out
+            ]),
+            motion: WristMotion::still(),
+            base_duration_s: 0.8,
+        });
+        // "GREEN": G-shape, wrist twisting twice (§2.2).
+        signs.push(AslSign {
+            name: "GREEN".into(),
+            shape: signs[2].shape.clone(),
+            motion: WristMotion::twist(2.0),
+            base_duration_s: 1.2,
+        });
+        // "YELLOW": Y-shape, wrist twisting twice.
+        signs.push(AslSign {
+            name: "YELLOW".into(),
+            shape: signs[3].shape.clone(),
+            motion: WristMotion::twist(2.0),
+            base_duration_s: 1.2,
+        });
+        AslVocabulary { signs, rig }
+    }
+
+    /// A reproducible synthetic vocabulary of `n` signs with a minimum
+    /// pairwise shape distance, so recognition is non-trivial but feasible.
+    ///
+    /// # Panics
+    /// If a vocabulary of the requested size cannot be sampled (far more
+    /// than ~200 well-separated shapes would be needed).
+    pub fn synthetic(n: usize, seed: u64, rig: CyberGloveRig) -> Self {
+        Self::synthetic_with_separation(n, seed, rig, 60.0)
+    }
+
+    /// Like [`Self::synthetic`] but with an explicit minimum pairwise
+    /// shape distance — smaller values make recognition harder.
+    ///
+    /// # Panics
+    /// As [`Self::synthetic`].
+    pub fn synthetic_with_separation(
+        n: usize,
+        seed: u64,
+        rig: CyberGloveRig,
+        min_distance: f64,
+    ) -> Self {
+        let mut noise = NoiseSource::seeded(seed);
+        let mut signs: Vec<AslSign> = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while signs.len() < n {
+            attempts += 1;
+            assert!(attempts < 100_000, "could not sample {n} well-separated signs");
+            let shape = HandShape::random(&mut noise);
+            if signs.iter().any(|s| s.shape.distance(&shape) < min_distance) {
+                continue;
+            }
+            let motion = if noise.chance(0.5) {
+                let mut m = WristMotion::random(&mut noise);
+                // Keep the sweep modest so signs stay roughly in place.
+                for s in &mut m.sweep {
+                    *s *= 0.3;
+                }
+                m
+            } else {
+                WristMotion::still()
+            };
+            signs.push(AslSign {
+                name: format!("SIGN{}", signs.len()),
+                shape,
+                motion,
+                base_duration_s: noise.uniform(0.6, 1.4),
+            });
+        }
+        AslVocabulary { signs, rig }
+    }
+
+    /// Number of signs.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Generates one noisy instance of sign `label`, starting from the
+    /// neutral pose. The duration varies by ±~35% around the sign's base
+    /// duration ("different persons may finish a hand motion with
+    /// different time durations", §1.2).
+    ///
+    /// # Panics
+    /// If `label` is out of range.
+    pub fn instance(&self, label: usize, noise: &mut NoiseSource) -> SignInstance {
+        assert!(label < self.signs.len(), "sign {label} out of range");
+        let sign = &self.signs[label];
+        let duration = sign.base_duration_s * noise.uniform(0.65, 1.4);
+        let frames = ((duration * self.rig.sample_rate) as usize).max(8);
+        let stream = self.rig.record_motion(
+            &HandShape::neutral(),
+            &sign.shape,
+            &sign.motion,
+            frames,
+            noise,
+        );
+        SignInstance { label, stream }
+    }
+
+    /// Generates a labeled instance set: `per_sign` instances of every
+    /// sign, in label order.
+    pub fn instance_set(&self, per_sign: usize, noise: &mut NoiseSource) -> Vec<SignInstance> {
+        (0..self.signs.len())
+            .flat_map(|label| (0..per_sign).map(move |_| label))
+            .map(|label| self.instance(label, noise))
+            .collect()
+    }
+
+    /// Generates a continuous signing stream: the given sign sequence with
+    /// inter-sign transition segments (hand morphing between shapes, not
+    /// part of any sign). Returns the stream and the ground-truth segment
+    /// boundaries — the "chicken-and-egg" isolation problem of §3.4 in
+    /// data form.
+    pub fn sentence(
+        &self,
+        labels: &[usize],
+        noise: &mut NoiseSource,
+    ) -> (MultiStream, Vec<SegmentTruth>) {
+        let mut stream = MultiStream::new(self.rig.spec());
+        let mut truth = Vec::with_capacity(labels.len());
+        let mut prev_shape = HandShape::neutral();
+        for &label in labels {
+            assert!(label < self.signs.len(), "sign {label} out of range");
+            let sign = &self.signs[label];
+            // Transition: morph from the previous shape toward this sign's
+            // shape, with a still wrist. Not counted as sign frames.
+            let trans_frames = ((noise.uniform(0.15, 0.4) * self.rig.sample_rate) as usize).max(2);
+            let trans = self.rig.record_motion(
+                &prev_shape,
+                &sign.shape,
+                &WristMotion::still(),
+                trans_frames,
+                noise,
+            );
+            stream.extend(&trans);
+
+            let duration = sign.base_duration_s * noise.uniform(0.65, 1.4);
+            let frames = ((duration * self.rig.sample_rate) as usize).max(8);
+            let seg = self.rig.record_motion(&sign.shape, &sign.shape, &sign.motion, frames, noise);
+            let start = stream.len();
+            stream.extend(&seg);
+            truth.push(SegmentTruth { label, start, end: stream.len() });
+            prev_shape = sign.shape.clone();
+        }
+        (stream, truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> AslVocabulary {
+        AslVocabulary::standard(CyberGloveRig::default())
+    }
+
+    #[test]
+    fn standard_vocabulary_contents() {
+        let v = vocab();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.signs[4].name, "GREEN");
+        // GREEN shares G's shape but adds motion.
+        assert_eq!(v.signs[4].shape, v.signs[2].shape);
+        assert_ne!(v.signs[4].motion, v.signs[2].motion);
+    }
+
+    #[test]
+    fn instances_vary_in_length() {
+        let v = vocab();
+        let mut noise = NoiseSource::seeded(5);
+        let lens: Vec<usize> = (0..10).map(|_| v.instance(0, &mut noise).stream.len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max > min, "no duration variation: {lens:?}");
+        assert!(min >= 8);
+    }
+
+    #[test]
+    fn instance_reaches_sign_shape() {
+        let rig =
+            CyberGloveRig { noise_sigma: 0.0, tremor_amplitude: 0.0, ..Default::default() };
+        let v = AslVocabulary::standard(rig);
+        let mut noise = NoiseSource::seeded(1);
+        let inst = v.instance(1, &mut noise); // "B", no wrist motion
+        let last = inst.stream.frame(inst.stream.len() - 1);
+        for (i, &x) in last.iter().take(22).enumerate() {
+            assert!((x - v.signs[1].shape.joints[i]).abs() < 1e-6, "joint {i}");
+        }
+    }
+
+    #[test]
+    fn instance_set_is_label_ordered() {
+        let v = vocab();
+        let mut noise = NoiseSource::seeded(2);
+        let set = v.instance_set(3, &mut noise);
+        assert_eq!(set.len(), 18);
+        assert_eq!(set[0].label, 0);
+        assert_eq!(set[3].label, 1);
+        assert_eq!(set[17].label, 5);
+    }
+
+    #[test]
+    fn synthetic_separation_parameter() {
+        let tight = AslVocabulary::synthetic_with_separation(6, 3, CyberGloveRig::default(), 20.0);
+        assert_eq!(tight.len(), 6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                assert!(tight.signs[i].shape.distance(&tight.signs[j].shape) >= 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_vocabulary_is_separated() {
+        let v = AslVocabulary::synthetic(12, 7, CyberGloveRig::default());
+        assert_eq!(v.len(), 12);
+        for i in 0..12 {
+            for j in i + 1..12 {
+                assert!(
+                    v.signs[i].shape.distance(&v.signs[j].shape) >= 60.0,
+                    "signs {i},{j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_truth_is_consistent() {
+        let v = vocab();
+        let mut noise = NoiseSource::seeded(3);
+        let labels = vec![0, 4, 2, 5];
+        let (stream, truth) = v.sentence(&labels, &mut noise);
+        assert_eq!(truth.len(), 4);
+        let mut prev_end = 0;
+        for (t, l) in truth.iter().zip(&labels) {
+            assert_eq!(t.label, *l);
+            assert!(t.start > prev_end, "transition gap missing"); // transitions exist
+            assert!(t.end > t.start);
+            assert!(t.end <= stream.len());
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn sentence_is_reproducible() {
+        let v = vocab();
+        let mut n1 = NoiseSource::seeded(10);
+        let mut n2 = NoiseSource::seeded(10);
+        let (s1, t1) = v.sentence(&[1, 2], &mut n1);
+        let (s2, t2) = v.sentence(&[1, 2], &mut n2);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let v = vocab();
+        v.instance(99, &mut NoiseSource::seeded(0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic immersidata sources.
+//!
+//! The AIMS paper (CIDR 2003) evaluates its ideas on two immersive
+//! applications: American Sign Language recognition from a 28-sensor
+//! CyberGlove + Polhemus tracker rig (§2.2) and ADHD diagnosis from
+//! body-tracker streams captured in a Virtual Classroom (§2.1). Neither the
+//! hardware nor the clinical data is available, so this crate implements
+//! parametric simulators that reproduce the *statistical shape* of those
+//! streams — dimensionality, sampling rate, band-limited smooth motion,
+//! cross-channel correlation, per-sensor activity differences, and sensor
+//! noise — which is all the downstream algorithms ever see. The
+//! substitutions are documented in the repository's `DESIGN.md`.
+//!
+//! - [`types`]: the immersidata stream model shared by every subsystem.
+//! - [`noise`]: reproducible Gaussian/drift noise sources.
+//! - [`glove`]: the CyberGlove (22 joint sensors, Table 1 of the paper)
+//!   plus Polhemus wrist tracker (6 DoF) — 28 channels at 100 Hz.
+//! - [`asl`]: a parametric ASL sign vocabulary and continuous signing
+//!   stream generator.
+//! - [`adhd`]: the Virtual Classroom session generator — trackers on head,
+//!   hands and legs, AX-task stimulus/response events, scripted
+//!   distractions, and normal vs ADHD subject motion models.
+//! - [`io`]: CSV import/export of streams.
+
+pub mod adhd;
+pub mod asl;
+pub mod glove;
+pub mod io;
+pub mod noise;
+pub mod types;
+
+pub use asl::{AslSign, AslVocabulary, SignInstance};
+pub use glove::{CyberGloveRig, GLOVE_SENSOR_NAMES, NUM_CHANNELS, NUM_GLOVE_SENSORS, NUM_TRACKER_CHANNELS};
+pub use types::{Frame, MultiStream, SensorId, StreamSpec};

@@ -1,0 +1,165 @@
+//! Reproducible noise sources for the sensor simulators.
+//!
+//! Immersidata are "noisy" by definition (paper §1, challenge 5): every
+//! physical sensor adds measurement noise, and trackers drift. These helpers
+//! produce Gaussian samples, smoothed (band-limited) noise, and slow random
+//! drift, all seeded so experiments are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded noise generator.
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    rng: SmallRng,
+}
+
+impl NoiseSource {
+    /// Creates a generator from a seed; the same seed yields the same
+    /// sample sequence.
+    pub fn seeded(seed: u64) -> Self {
+        NoiseSource { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// One standard-normal sample (Box–Muller).
+    pub fn gaussian(&mut self) -> f64 {
+        // Box–Muller: two uniforms → one normal (the second is discarded
+        // for simplicity; generation cost is irrelevant here).
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A normal sample with the given standard deviation.
+    pub fn gaussian_scaled(&mut self, sigma: f64) -> f64 {
+        self.gaussian() * sigma
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// A vector of i.i.d. Gaussian samples.
+    pub fn gaussian_vec(&mut self, n: usize, sigma: f64) -> Vec<f64> {
+        (0..n).map(|_| self.gaussian_scaled(sigma)).collect()
+    }
+
+    /// Band-limited noise: white Gaussian noise passed through a one-pole
+    /// lowpass with smoothing factor `alpha ∈ (0, 1]` (smaller = smoother).
+    pub fn smooth_noise(&mut self, n: usize, sigma: f64, alpha: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1]");
+        let mut out = Vec::with_capacity(n);
+        let mut state = 0.0;
+        // Compensate the variance reduction of the smoother so the output
+        // std stays close to sigma.
+        let gain = (alpha / (2.0 - alpha)).sqrt();
+        for _ in 0..n {
+            state += alpha * (self.gaussian_scaled(sigma) - state);
+            out.push(state / gain);
+        }
+        out
+    }
+
+    /// A slow random-walk drift with per-step std `step_sigma`, pulled back
+    /// toward zero with strength `recall ∈ [0,1)` (an Ornstein–Uhlenbeck
+    /// discretization).
+    pub fn drift(&mut self, n: usize, step_sigma: f64, recall: f64) -> Vec<f64> {
+        assert!((0.0..1.0).contains(&recall), "recall must be in [0,1)");
+        let mut out = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = x * (1.0 - recall) + self.gaussian_scaled(step_sigma);
+            out.push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut a = NoiseSource::seeded(7);
+        let mut b = NoiseSource::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.gaussian(), b.gaussian());
+        }
+        let mut c = NoiseSource::seeded(8);
+        let va: Vec<f64> = (0..10).map(|_| a.gaussian()).collect();
+        let vc: Vec<f64> = (0..10).map(|_| c.gaussian()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut n = NoiseSource::seeded(42);
+        let xs = n.gaussian_vec(20000, 1.0);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_chance() {
+        let mut n = NoiseSource::seeded(3);
+        for _ in 0..1000 {
+            let x = n.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let i = n.index(7);
+            assert!(i < 7);
+        }
+        let hits = (0..10000).filter(|_| n.chance(0.25)).count();
+        assert!((hits as f64 / 10000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn smooth_noise_is_smoother_than_white() {
+        let mut n = NoiseSource::seeded(11);
+        let white = n.gaussian_vec(5000, 1.0);
+        let smooth = n.smooth_noise(5000, 1.0, 0.05);
+        let roughness = |v: &[f64]| -> f64 {
+            v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
+        };
+        assert!(roughness(&smooth) < roughness(&white) * 0.5);
+        // Variance stays in the right ballpark thanks to gain compensation.
+        let var = smooth.iter().map(|x| x * x).sum::<f64>() / smooth.len() as f64;
+        assert!(var > 0.3 && var < 3.0, "smooth var {var}");
+    }
+
+    #[test]
+    fn drift_stays_bounded_with_recall() {
+        let mut n = NoiseSource::seeded(5);
+        let d = n.drift(10000, 0.1, 0.01);
+        let max = d.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        // OU process with these parameters has std ≈ 0.1/√(2·0.01) ≈ 0.7.
+        assert!(max < 5.0, "drift escaped: {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_zero_panics() {
+        NoiseSource::seeded(1).index(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the sensor simulators and stream model.
+
+use proptest::prelude::*;
+
+use aims_sensors::glove::{CyberGloveRig, HandShape, WristMotion};
+use aims_sensors::io::{from_csv, to_csv};
+use aims_sensors::noise::NoiseSource;
+use aims_sensors::types::{MultiStream, StreamSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSV round-trips arbitrary streams bit-exactly.
+    #[test]
+    fn csv_roundtrip(
+        channels in 1usize..6,
+        frames in 0usize..40,
+        seed in 0u64..1000,
+        rate in 1.0_f64..500.0,
+    ) {
+        let spec = StreamSpec::anonymous(channels, rate);
+        let mut stream = MultiStream::new(spec);
+        let mut state = seed.max(1);
+        for _ in 0..frames {
+            let frame: Vec<f64> = (0..channels)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 100_000) as f64 / 97.0 - 500.0
+                })
+                .collect();
+            stream.push(&frame);
+        }
+        let back = from_csv(&to_csv(&stream)).unwrap();
+        prop_assert_eq!(back.len(), stream.len());
+        for t in 0..stream.len() {
+            prop_assert_eq!(back.frame(t), stream.frame(t));
+        }
+    }
+
+    /// Slicing then extending reassembles the original stream.
+    #[test]
+    fn slice_extend_identity(
+        frames in 1usize..50,
+        cut in 0usize..50,
+        seed in 0u64..100,
+    ) {
+        let cut = cut.min(frames);
+        let spec = StreamSpec::anonymous(3, 100.0);
+        let mut stream = MultiStream::new(spec);
+        let mut state = seed.max(1);
+        for _ in 0..frames {
+            let f: Vec<f64> = (0..3).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 41) as f64
+            }).collect();
+            stream.push(&f);
+        }
+        let mut rebuilt = stream.slice(0, cut);
+        rebuilt.extend(&stream.slice(cut, frames));
+        prop_assert_eq!(rebuilt, stream);
+    }
+
+    /// Sessions are deterministic per seed and have exactly the requested
+    /// frame count; motion speed is non-negative everywhere.
+    #[test]
+    fn session_shape(seed in 0u64..200, tenths in 5u32..30, activity in 0.0_f64..1.0) {
+        let rig = CyberGloveRig::default();
+        let seconds = tenths as f64 / 10.0;
+        let a = rig.record_session(seconds, activity, &mut NoiseSource::seeded(seed));
+        let b = rig.record_session(seconds, activity, &mut NoiseSource::seeded(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), (seconds * 100.0) as usize);
+        prop_assert!(a.motion_speed().iter().all(|&s| s >= 0.0));
+    }
+
+    /// Shape interpolation stays within the endpoints' bounding box.
+    #[test]
+    fn lerp_is_bounded(t in 0.0_f64..1.0, seed in 0u64..200) {
+        let mut noise = NoiseSource::seeded(seed);
+        let a = HandShape::random(&mut noise);
+        let b = HandShape::random(&mut noise);
+        let mid = a.lerp(&b, t);
+        for j in 0..22 {
+            let lo = a.joints[j].min(b.joints[j]) - 1e-9;
+            let hi = a.joints[j].max(b.joints[j]) + 1e-9;
+            prop_assert!(mid.joints[j] >= lo && mid.joints[j] <= hi, "joint {}", j);
+        }
+        // Distance triangle: d(a,mid) + d(mid,b) ≥ d(a,b).
+        prop_assert!(a.distance(&mid) + mid.distance(&b) >= a.distance(&b) - 1e-9);
+    }
+
+    /// Wrist motions evaluate finitely for all normalized times, and the
+    /// still motion is identically zero.
+    #[test]
+    fn wrist_motion_sane(t in 0.0_f64..1.0, seed in 0u64..200) {
+        let mut noise = NoiseSource::seeded(seed);
+        let m = WristMotion::random(&mut noise);
+        for v in m.eval(t) {
+            prop_assert!(v.is_finite());
+        }
+        prop_assert!(WristMotion::still().eval(t).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,526 @@
+//! Coefficient-to-block allocation strategies.
+//!
+//! The heart of §3.2.1: pack wavelet coefficients into size-`B` disk blocks
+//! so that the ancestor-closed access sets of point/range queries touch as
+//! few blocks as possible — equivalently, so that every retrieved block
+//! carries as many *needed* items as possible. The paper's theoretical
+//! ceiling is `1 + lg B` expected needed items per retrieved block; its
+//! proposed allocation is an *optimal tiling of the one-dimensional wavelet
+//! error tree*, extended to multivariate data by taking Cartesian products
+//! of the per-dimension virtual blocks.
+
+
+/// A total map from coefficient indices to block ids.
+pub trait Allocation {
+    /// Block holding coefficient `i`.
+    fn block_of(&self, i: usize) -> usize;
+
+    /// Number of blocks used.
+    fn num_blocks(&self) -> usize;
+
+    /// Items per block.
+    fn block_size(&self) -> usize;
+
+    /// Number of coefficients mapped.
+    fn num_coefficients(&self) -> usize;
+
+    /// The coefficients stored in block `b` (default: scan).
+    fn block_contents(&self, b: usize) -> Vec<usize> {
+        (0..self.num_coefficients()).filter(|&i| self.block_of(i) == b).collect()
+    }
+}
+
+/// Evaluates an allocation against a query workload: returns
+/// `(avg blocks touched per query, avg needed items per retrieved block)`.
+///
+/// The second number is the paper's success metric; the tiling allocation
+/// should push it toward `1 + lg B` while naive layouts sit near 1.
+pub fn evaluate_allocation<A: Allocation>(alloc: &A, queries: &[Vec<usize>]) -> (f64, f64) {
+    assert!(!queries.is_empty(), "need at least one query");
+    let mut total_blocks = 0usize;
+    let mut total_needed_per_block = 0.0;
+    for q in queries {
+        assert!(!q.is_empty(), "empty query set");
+        let mut blocks: Vec<usize> = q.iter().map(|&i| alloc.block_of(i)).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        total_blocks += blocks.len();
+        total_needed_per_block += q.len() as f64 / blocks.len() as f64;
+    }
+    (
+        total_blocks as f64 / queries.len() as f64,
+        total_needed_per_block / queries.len() as f64,
+    )
+}
+
+/// The paper's theoretical upper bound on expected needed items per
+/// retrieved block: `1 + lg B`.
+pub fn needed_items_upper_bound(block_size: usize) -> f64 {
+    1.0 + (block_size as f64).log2()
+}
+
+/// Baseline: coefficients packed in flat-layout order (`i / B`). Because
+/// the flat layout is level-major, an error-tree path scatters across
+/// blocks.
+#[derive(Clone, Debug)]
+pub struct SequentialAlloc {
+    n: usize,
+    block_size: usize,
+}
+
+impl SequentialAlloc {
+    /// Creates the layout for `n` coefficients and block size `b`.
+    ///
+    /// # Panics
+    /// If `b == 0` or `n == 0`.
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(b > 0 && n > 0, "need positive n and block size");
+        SequentialAlloc { n, block_size: b }
+    }
+}
+
+impl Allocation for SequentialAlloc {
+    fn block_of(&self, i: usize) -> usize {
+        assert!(i < self.n, "coefficient {i} out of range");
+        i / self.block_size
+    }
+    fn num_blocks(&self) -> usize {
+        self.n.div_ceil(self.block_size)
+    }
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+    fn num_coefficients(&self) -> usize {
+        self.n
+    }
+}
+
+/// Baseline: a seeded pseudo-random permutation chopped into blocks — the
+/// "no locality at all" floor.
+#[derive(Clone, Debug)]
+pub struct RandomAlloc {
+    assignment: Vec<usize>,
+    block_size: usize,
+    blocks: usize,
+}
+
+impl RandomAlloc {
+    /// Creates a random assignment of `n` coefficients into blocks of `b`.
+    pub fn new(n: usize, b: usize, seed: u64) -> Self {
+        assert!(b > 0 && n > 0, "need positive n and block size");
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with an xorshift generator (deterministic, no deps).
+        let mut state = seed.wrapping_mul(6364136223846793005).max(1);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut assignment = vec![0usize; n];
+        for (pos, &coeff) in perm.iter().enumerate() {
+            assignment[coeff] = pos / b;
+        }
+        RandomAlloc { assignment, block_size: b, blocks: n.div_ceil(b) }
+    }
+}
+
+impl Allocation for RandomAlloc {
+    fn block_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+    fn num_coefficients(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// The paper's allocation: optimal tiling of the error tree into
+/// height-`lg B` subtrees.
+///
+/// Block 0 packs the approximation root together with the complete top
+/// subtree of the detail tree (nodes `0..B`). Every other block is a
+/// complete subtree of height `lg B` rooted at depth `k·lg B` of the
+/// detail tree (`B − 1` nodes, one slot spare). A root-to-leaf dependency
+/// path then crosses only one block per `lg B` levels, so each retrieved
+/// block supplies ~`lg B` needed coefficients — right at the
+/// `1 + lg B` bound.
+#[derive(Clone, Debug)]
+pub struct TreeTilingAlloc {
+    n: usize,
+    block_size: usize,
+    tile_height: usize,
+    /// Height of the top (root-packed) tile: `lg n mod lg B`, or `lg B`
+    /// when the depths divide evenly. Keeping the partial tile at the top
+    /// (instead of the leaves) wastes at most one block.
+    top_height: usize,
+    /// Starting block id of each full-height tile layer; entry `k` is the
+    /// layer whose tile roots sit at detail depth `top_height + k·h`.
+    layer_offsets: Vec<usize>,
+    blocks: usize,
+}
+
+impl TreeTilingAlloc {
+    /// Creates the tiling for `n` coefficients (power of two) and block
+    /// size `b` (power of two, `2 ≤ b ≤ n`).
+    ///
+    /// # Panics
+    /// On non-power-of-two arguments or `b > n` or `b < 2`.
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+        assert!(b.is_power_of_two() && b >= 2, "block size must be a power of two ≥ 2");
+        assert!(b <= n, "block size {b} exceeds coefficient count {n}");
+        let h = b.trailing_zeros() as usize;
+        let depths = n.trailing_zeros() as usize; // detail depths 0..depths
+
+        // Align full tiles to the leaves: the top tile absorbs the
+        // remainder (and the approximation root).
+        let rem = depths % h;
+        let top = if rem == 0 { h } else { rem };
+
+        let mut layer_offsets = Vec::new();
+        let mut next_block = 1usize; // block 0 = top tile
+        let mut depth = top;
+        while depth < depths {
+            layer_offsets.push(next_block);
+            next_block += 1 << depth; // one tile per node at this depth
+            depth += h;
+        }
+        TreeTilingAlloc {
+            n,
+            block_size: b,
+            tile_height: h,
+            top_height: top,
+            layer_offsets,
+            blocks: next_block,
+        }
+    }
+
+    /// Height (levels) of the full tiles.
+    pub fn tile_height(&self) -> usize {
+        self.tile_height
+    }
+}
+
+impl Allocation for TreeTilingAlloc {
+    fn block_of(&self, i: usize) -> usize {
+        assert!(i < self.n, "coefficient {i} out of range");
+        // Top tile: root 0 plus detail nodes of depth < top_height, i.e.
+        // flat indices below 2^top_height.
+        if i < (1 << self.top_height) {
+            return 0;
+        }
+        // Depth of detail node i (node 1 is depth 0) = ⌊log2 i⌋.
+        let depth = (usize::BITS - 1 - i.leading_zeros()) as usize;
+        let layer = (depth - self.top_height) / self.tile_height;
+        let tile_root_depth = self.top_height + layer * self.tile_height;
+        let ancestor = i >> (depth - tile_root_depth);
+        let first_at_depth = 1usize << tile_root_depth;
+        self.layer_offsets[layer] + (ancestor - first_at_depth)
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+    fn num_coefficients(&self) -> usize {
+        self.n
+    }
+}
+
+/// Tensor-product allocation for a multidimensional coefficient grid:
+/// "decompose each dimension into optimal virtual blocks, and take the
+/// Cartesian products of these virtual blocks to be our actual blocks"
+/// (§3.2.1).
+#[derive(Clone, Debug)]
+pub struct TensorAlloc {
+    dims: Vec<usize>,
+    per_dim: Vec<TreeTilingAlloc>,
+    strides: Vec<usize>,
+    block_strides: Vec<usize>,
+    blocks: usize,
+}
+
+impl TensorAlloc {
+    /// Creates a tensor allocation over a grid with the given power-of-two
+    /// `dims`, using a per-dimension virtual block size `b_k` (so the real
+    /// block size is `∏ b_k`).
+    ///
+    /// # Panics
+    /// If dims/virtual sizes are invalid for [`TreeTilingAlloc`].
+    pub fn new(dims: &[usize], virtual_block: &[usize]) -> Self {
+        assert_eq!(dims.len(), virtual_block.len(), "dims/virtual_block length mismatch");
+        assert!(!dims.is_empty(), "need at least one dimension");
+        let per_dim: Vec<TreeTilingAlloc> = dims
+            .iter()
+            .zip(virtual_block)
+            .map(|(&n, &b)| TreeTilingAlloc::new(n, b))
+            .collect();
+        let mut strides = vec![1usize; dims.len()];
+        for a in (0..dims.len() - 1).rev() {
+            strides[a] = strides[a + 1] * dims[a + 1];
+        }
+        let mut block_strides = vec![1usize; dims.len()];
+        for a in (0..dims.len() - 1).rev() {
+            block_strides[a] = block_strides[a + 1] * per_dim[a + 1].num_blocks();
+        }
+        let blocks = block_strides[0] * per_dim[0].num_blocks();
+        TensorAlloc { dims: dims.to_vec(), per_dim, strides, block_strides, blocks }
+    }
+
+    /// Block of the coefficient at the given multi-index.
+    pub fn block_of_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index arity mismatch");
+        index
+            .iter()
+            .zip(&self.per_dim)
+            .zip(&self.block_strides)
+            .map(|((&i, alloc), &stride)| alloc.block_of(i) * stride)
+            .sum()
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Real block size (product of the virtual per-dimension sizes).
+    pub fn real_block_size(&self) -> usize {
+        self.per_dim.iter().map(|a| a.block_size()).product()
+    }
+}
+
+impl Allocation for TensorAlloc {
+    fn block_of(&self, i: usize) -> usize {
+        // Unflatten the row-major index.
+        let mut rem = i;
+        let idx: Vec<usize> = self
+            .strides
+            .iter()
+            .map(|&s| {
+                let q = rem / s;
+                rem %= s;
+                q
+            })
+            .collect();
+        self.block_of_index(&idx)
+    }
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+    fn block_size(&self) -> usize {
+        self.real_block_size()
+    }
+    fn num_coefficients(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// Convenience: check an allocation assigns every coefficient to exactly
+/// one in-range block and never overfills a block (allowing the tiling's
+/// one-spare-slot slack).
+pub fn validate_allocation<A: Allocation>(alloc: &A) -> Result<(), String> {
+    let mut fill = vec![0usize; alloc.num_blocks()];
+    for i in 0..alloc.num_coefficients() {
+        let b = alloc.block_of(i);
+        if b >= alloc.num_blocks() {
+            return Err(format!("coefficient {i} mapped to out-of-range block {b}"));
+        }
+        fill[b] += 1;
+        if fill[b] > alloc.block_size() {
+            return Err(format!("block {b} overfilled beyond {}", alloc.block_size()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_tree::{point_query_set, range_query_set, ErrorTree};
+
+    #[test]
+    fn sequential_mapping() {
+        let a = SequentialAlloc::new(16, 4);
+        assert_eq!(a.block_of(0), 0);
+        assert_eq!(a.block_of(5), 1);
+        assert_eq!(a.block_of(15), 3);
+        assert_eq!(a.num_blocks(), 4);
+        validate_allocation(&a).unwrap();
+        assert_eq!(a.block_contents(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn random_alloc_is_valid_and_deterministic() {
+        let a = RandomAlloc::new(64, 8, 5);
+        let b = RandomAlloc::new(64, 8, 5);
+        validate_allocation(&a).unwrap();
+        for i in 0..64 {
+            assert_eq!(a.block_of(i), b.block_of(i));
+        }
+        let c = RandomAlloc::new(64, 8, 6);
+        assert!((0..64).any(|i| a.block_of(i) != c.block_of(i)));
+    }
+
+    #[test]
+    fn tiling_top_block_packs_root_subtree() {
+        let a = TreeTilingAlloc::new(64, 8);
+        for i in 0..8 {
+            assert_eq!(a.block_of(i), 0, "node {i}");
+        }
+        assert_eq!(a.tile_height(), 3);
+        validate_allocation(&a).unwrap();
+    }
+
+    #[test]
+    fn tiling_blocks_are_subtrees() {
+        let a = TreeTilingAlloc::new(256, 16); // h = 4, depths 0..=7
+        validate_allocation(&a).unwrap();
+        let tree = ErrorTree::new(256);
+        // Within any non-root block, the nodes form one subtree: they share
+        // a unique minimum element whose descendants they all are.
+        for b in 1..a.num_blocks() {
+            let contents = a.block_contents(b);
+            assert!(!contents.is_empty(), "block {b} empty");
+            assert!(contents.len() <= 16);
+            let root = *contents.iter().min().unwrap();
+            for &i in &contents {
+                // Walk ancestors of i; must reach `root` within the tile.
+                let mut j = i;
+                let mut found = j == root;
+                while let Some(p) = tree.parent(j) {
+                    if p < root {
+                        break;
+                    }
+                    j = p;
+                    if j == root {
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(found, "block {b}: node {i} not under subtree root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_point_queries_approach_the_bound() {
+        let n = 1 << 14;
+        let b = 32; // h = 5
+        let tiling = TreeTilingAlloc::new(n, b);
+        let sequential = SequentialAlloc::new(n, b);
+        let random = RandomAlloc::new(n, b, 9);
+        let queries: Vec<Vec<usize>> =
+            (0..200).map(|k| point_query_set((k * 71) % n, n)).collect();
+
+        let (_, needed_tiling) = evaluate_allocation(&tiling, &queries);
+        let (_, needed_seq) = evaluate_allocation(&sequential, &queries);
+        let (_, needed_rand) = evaluate_allocation(&random, &queries);
+        let bound = needed_items_upper_bound(b);
+
+        assert!(needed_tiling <= bound, "tiling {needed_tiling} exceeds bound {bound}");
+        assert!(
+            needed_tiling > bound * 0.55,
+            "tiling {needed_tiling} far from bound {bound}"
+        );
+        assert!(needed_tiling > 1.8 * needed_seq, "tiling {needed_tiling} vs seq {needed_seq}");
+        assert!(needed_rand < needed_tiling, "random should be worst");
+    }
+
+    #[test]
+    fn tiling_range_queries_beat_sequential() {
+        let n = 1 << 12;
+        let b = 16;
+        let tiling = TreeTilingAlloc::new(n, b);
+        let sequential = SequentialAlloc::new(n, b);
+        let queries: Vec<Vec<usize>> = (0..100)
+            .map(|k| {
+                let a = (k * 37) % (n / 2);
+                range_query_set(a, a + n / 3, n)
+            })
+            .collect();
+        let (blocks_tiling, _) = evaluate_allocation(&tiling, &queries);
+        let (blocks_seq, _) = evaluate_allocation(&sequential, &queries);
+        assert!(
+            blocks_tiling < blocks_seq,
+            "tiling touches {blocks_tiling} blocks vs sequential {blocks_seq}"
+        );
+    }
+
+    #[test]
+    fn tiling_block_count_is_near_minimal() {
+        let n = 1 << 10;
+        let b = 8;
+        let a = TreeTilingAlloc::new(n, b);
+        // Minimum possible blocks = n/b; tiling wastes ≤1 slot per block.
+        let min_blocks = n / b;
+        assert!(a.num_blocks() >= min_blocks);
+        assert!(
+            a.num_blocks() <= min_blocks + min_blocks / (b - 1) + 2,
+            "too many blocks: {} vs min {min_blocks}",
+            a.num_blocks()
+        );
+    }
+
+    #[test]
+    fn tensor_alloc_combines_dimensions() {
+        let t = TensorAlloc::new(&[16, 16], &[4, 4]);
+        assert_eq!(t.real_block_size(), 16);
+        validate_allocation(&t).unwrap();
+        // Block of (i,j) = per-dim blocks combined.
+        let a1 = TreeTilingAlloc::new(16, 4);
+        for i in [0usize, 3, 7, 15] {
+            for j in [0usize, 5, 12] {
+                let expect = a1.block_of(i) * a1.num_blocks() + a1.block_of(j);
+                assert_eq!(t.block_of_index(&[i, j]), expect);
+                assert_eq!(t.block_of(i * 16 + j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_point_queries_beat_row_major() {
+        // 2-D grid 64×64, block 16 (4×4 virtual).
+        let dims = [64usize, 64];
+        let tensor = TensorAlloc::new(&dims, &[4, 4]);
+        let seq = SequentialAlloc::new(64 * 64, 16);
+        // Point query in 2-D standard decomposition: path(i) × path(j).
+        let mut queries = Vec::new();
+        for k in 0..50 {
+            let (ti, tj) = ((k * 13) % 64, (k * 29) % 64);
+            let pi = point_query_set(ti, 64);
+            let pj = point_query_set(tj, 64);
+            let mut q = Vec::new();
+            for &a in &pi {
+                for &b in &pj {
+                    q.push(a * 64 + b);
+                }
+            }
+            queries.push(q);
+        }
+        let (blocks_tensor, needed_tensor) = evaluate_allocation(&tensor, &queries);
+        let (blocks_seq, needed_seq) = evaluate_allocation(&seq, &queries);
+        assert!(blocks_tensor < blocks_seq, "{blocks_tensor} !< {blocks_seq}");
+        assert!(needed_tensor > needed_seq, "{needed_tensor} !> {needed_seq}");
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(needed_items_upper_bound(8), 4.0);
+        assert_eq!(needed_items_upper_bound(64), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tiling_rejects_bad_block_size() {
+        TreeTilingAlloc::new(64, 6);
+    }
+}

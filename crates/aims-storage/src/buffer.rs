@@ -1,0 +1,157 @@
+//! LRU buffer pool over the block device.
+//!
+//! "Thanks to the principle of locality of reference, we often find that
+//! when an application needs to access one datum on a disk block, it is
+//! likely to need to access other data on the same block" (§3.2.1). The
+//! buffer pool is where that locality pays off: repeated touches of a
+//! cached block cost no device read. Hit/miss counters let experiments
+//! attribute I/O savings to the allocation strategy rather than to cache
+//! size.
+
+use std::collections::HashMap;
+
+use crate::device::BlockDevice;
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that had to read the device.
+    pub misses: u64,
+    /// Cached blocks evicted.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; `1.0` when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU cache of device blocks.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// block id → (data, last-use tick)
+    cache: HashMap<usize, (Vec<f64>, u64)>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool { capacity, cache: HashMap::new(), tick: 0, stats: PoolStats::default() }
+    }
+
+    /// Fetches a block through the cache.
+    pub fn get(&mut self, device: &BlockDevice, id: usize) -> Vec<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((data, last)) = self.cache.get_mut(&id) {
+            *last = tick;
+            self.stats.hits += 1;
+            return data.clone();
+        }
+        self.stats.misses += 1;
+        let data = device.read_block(id);
+        if self.cache.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, last))| *last) {
+                self.cache.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.cache.insert(id, (data.clone(), tick));
+        data
+    }
+
+    /// Drops all cached blocks (keeps statistics).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Blocks currently cached.
+    pub fn resident(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> BlockDevice {
+        let mut d = BlockDevice::new(2, 4);
+        for i in 0..4 {
+            d.write_block(i, &[i as f64, i as f64 + 0.5]);
+        }
+        d.reset_stats();
+        d
+    }
+
+    #[test]
+    fn hits_avoid_device_reads() {
+        let d = device();
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.get(&d, 0), vec![0.0, 0.5]);
+        assert_eq!(pool.get(&d, 0), vec![0.0, 0.5]);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(pool.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let d = device();
+        let mut pool = BufferPool::new(2);
+        pool.get(&d, 0);
+        pool.get(&d, 1);
+        pool.get(&d, 0); // 0 is now most recent
+        pool.get(&d, 2); // evicts 1
+        assert_eq!(pool.stats().evictions, 1);
+        pool.get(&d, 0); // hit
+        pool.get(&d, 1); // miss again
+        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(pool.stats().misses, 4);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let d = device();
+        let mut pool = BufferPool::new(4);
+        pool.get(&d, 0);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats().misses, 1);
+        pool.get(&d, 0);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn empty_pool_hit_ratio_is_one() {
+        assert_eq!(BufferPool::new(1).stats().hit_ratio(), 1.0);
+    }
+}

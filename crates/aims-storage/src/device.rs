@@ -1,0 +1,141 @@
+//! Instrumented in-memory block device.
+//!
+//! The paper prototyped against Teradata BLOBs and planned raw-disk blocks
+//! (§4). For the reproduction what matters is the *accounting*: how many
+//! block reads and writes each query costs under each allocation strategy.
+//! This device stores fixed-size blocks of `f64` items in memory and counts
+//! every access; `parking_lot` guards the counters so concurrent readers
+//! (e.g. the acquisition recorder thread) stay correct.
+
+use parking_lot::Mutex;
+
+/// Running I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Block reads served.
+    pub reads: u64,
+    /// Block writes performed.
+    pub writes: u64,
+}
+
+/// A fixed-block-size in-memory device.
+#[derive(Debug)]
+pub struct BlockDevice {
+    block_size: usize,
+    blocks: Vec<Vec<f64>>,
+    stats: Mutex<DeviceStats>,
+}
+
+impl BlockDevice {
+    /// Creates a device with `num_blocks` zeroed blocks of `block_size`
+    /// items each.
+    ///
+    /// # Panics
+    /// If `block_size == 0`.
+    pub fn new(block_size: usize, num_blocks: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockDevice {
+            block_size,
+            blocks: vec![vec![0.0; block_size]; num_blocks],
+            stats: Mutex::new(DeviceStats::default()),
+        }
+    }
+
+    /// Items per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Reads a whole block (counted).
+    ///
+    /// # Panics
+    /// If the block id is out of range.
+    pub fn read_block(&self, id: usize) -> Vec<f64> {
+        assert!(id < self.blocks.len(), "block {id} out of range");
+        self.stats.lock().reads += 1;
+        self.blocks[id].clone()
+    }
+
+    /// Overwrites a whole block (counted).
+    ///
+    /// # Panics
+    /// If the id is out of range or the data length differs from the block
+    /// size.
+    pub fn write_block(&mut self, id: usize, data: &[f64]) {
+        assert!(id < self.blocks.len(), "block {id} out of range");
+        assert_eq!(data.len(), self.block_size, "block data size mismatch");
+        self.stats.lock().writes += 1;
+        self.blocks[id].copy_from_slice(data);
+    }
+
+    /// Appends a new zeroed block, returning its id.
+    pub fn grow(&mut self) -> usize {
+        self.blocks.push(vec![0.0; self.block_size]);
+        self.blocks.len() - 1
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> DeviceStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the counters (e.g. after the load phase, before measuring a
+    /// query workload).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DeviceStats::default();
+    }
+
+    /// Total capacity in items.
+    pub fn capacity_items(&self) -> usize {
+        self.block_size * self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_and_counting() {
+        let mut d = BlockDevice::new(4, 3);
+        assert_eq!(d.block_size(), 4);
+        assert_eq!(d.num_blocks(), 3);
+        assert_eq!(d.capacity_items(), 12);
+
+        d.write_block(1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.read_block(1), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.read_block(0), vec![0.0; 4]);
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+    }
+
+    #[test]
+    fn reset_and_grow() {
+        let mut d = BlockDevice::new(2, 1);
+        d.write_block(0, &[1.0, 2.0]);
+        d.reset_stats();
+        assert_eq!(d.stats(), DeviceStats::default());
+        let id = d.grow();
+        assert_eq!(id, 1);
+        assert_eq!(d.num_blocks(), 2);
+        assert_eq!(d.read_block(1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_block_read_panics() {
+        BlockDevice::new(4, 2).read_block(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn bad_write_size_panics() {
+        BlockDevice::new(4, 2).write_block(0, &[1.0]);
+    }
+}

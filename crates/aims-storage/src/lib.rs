@@ -1,0 +1,43 @@
+//! Disk-level storage of wavelet-transformed immersidata (paper §3.2).
+//!
+//! The paper's storage question: *"Is there a principle of locality of
+//! reference for wavelet data? Or more precisely, is there a way we can
+//! store wavelet data to create such a principle?"* Its answer: for point
+//! and range queries on the wavelet error tree, "if a wavelet coefficient
+//! is retrieved, we are guaranteed that all of its dependent coefficients
+//! will also be retrieved", and an allocation based on *optimal tiling of
+//! the one-dimensional wavelet error tree* approaches the theoretical
+//! bound of fewer than `1 + lg B` needed items per retrieved size-`B`
+//! block; tensor products of the 1-D tiling extend it to multivariate
+//! wavelets.
+//!
+//! - [`device`]: an instrumented in-memory block device — every storage
+//!   claim is about which coefficients share a block and how many block
+//!   reads a query costs, which this measures exactly.
+//! - [`buffer`]: an LRU buffer pool with hit/miss accounting.
+//! - [`error_tree`]: the dependency structure of the flat DWT layout and
+//!   the ancestor-closed access sets of point and range queries.
+//! - [`alloc`]: block-allocation strategies — sequential, random,
+//!   level-major baselines and the paper's error-tree tiling — plus the
+//!   tensor-product extension to multidimensional coefficient grids.
+//! - [`progressive`]: importance-ordered block retrieval ("perform the
+//!   most valuable I/O's first and deliver approximate results
+//!   progressively").
+//! - [`store`]: the integrated wavelet block store used by the rest of
+//!   AIMS.
+//! - [`snapshot`]: versioned binary persistence of a store (the paper's
+//!   BLOB/raw-disk plan, §4).
+
+pub mod alloc;
+pub mod buffer;
+pub mod device;
+pub mod error_tree;
+pub mod progressive;
+pub mod snapshot;
+pub mod store;
+
+pub use alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
+pub use buffer::BufferPool;
+pub use device::{BlockDevice, DeviceStats};
+pub use error_tree::{point_query_set, range_query_set, ErrorTree};
+pub use store::WaveletStore;

@@ -1,0 +1,145 @@
+//! Property-based tests of the storage subsystem's invariants.
+
+use proptest::prelude::*;
+
+use aims_storage::alloc::{
+    validate_allocation, Allocation, RandomAlloc, SequentialAlloc, TensorAlloc, TreeTilingAlloc,
+};
+use aims_storage::buffer::BufferPool;
+use aims_storage::error_tree::{point_query_set, range_query_set, ErrorTree};
+use aims_storage::store::{AllocKind, WaveletStore};
+
+fn pow2(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
+    (lo..=hi).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every allocation maps every coefficient to exactly one in-range
+    /// block without overfilling.
+    #[test]
+    fn allocations_are_valid(
+        n in pow2(3, 12),
+        b_exp in 1u32..=6,
+        seed in 0u64..100,
+    ) {
+        let b = (1usize << b_exp).min(n);
+        validate_allocation(&SequentialAlloc::new(n, b)).unwrap();
+        validate_allocation(&RandomAlloc::new(n, b, seed)).unwrap();
+        validate_allocation(&TreeTilingAlloc::new(n, b)).unwrap();
+    }
+
+    /// Tiling blocks are connected subtrees: every non-root block's
+    /// contents are descendants of its minimum element.
+    #[test]
+    fn tiling_blocks_are_subtrees(n in pow2(4, 10), b_exp in 1u32..=5) {
+        let b = (1usize << b_exp).min(n);
+        let alloc = TreeTilingAlloc::new(n, b);
+        let tree = ErrorTree::new(n);
+        for blk in 1..alloc.num_blocks() {
+            let contents = alloc.block_contents(blk);
+            prop_assert!(!contents.is_empty());
+            let root = *contents.iter().min().unwrap();
+            for &i in &contents {
+                let mut j = i;
+                let mut ok = j == root;
+                while let Some(p) = tree.parent(j) {
+                    if p < root {
+                        break;
+                    }
+                    j = p;
+                    if j == root {
+                        ok = true;
+                        break;
+                    }
+                }
+                prop_assert!(ok, "block {} node {} not under {}", blk, i, root);
+            }
+        }
+    }
+
+    /// Point-query sets are ancestor-closed, one node per level, and every
+    /// node's support contains the point.
+    #[test]
+    fn point_sets_are_paths(n in pow2(1, 14), t_seed in 0usize..1_000_000) {
+        let t = t_seed % n;
+        let set = point_query_set(t, n);
+        let tree = ErrorTree::new(n);
+        prop_assert!(tree.is_ancestor_closed(&set));
+        prop_assert_eq!(set.len(), tree.levels() + 1);
+        for &i in &set {
+            let (s, e) = tree.support(i);
+            prop_assert!(s <= t && t < e);
+        }
+    }
+
+    /// Range-sum sets are ancestor-closed unions of two boundary paths.
+    #[test]
+    fn range_sets_are_closed(n in pow2(2, 12), a_seed in 0usize..1_000_000, b_seed in 0usize..1_000_000) {
+        let a = a_seed % n;
+        let b = a + (b_seed % (n - a));
+        let set = range_query_set(a, b, n);
+        let tree = ErrorTree::new(n);
+        prop_assert!(tree.is_ancestor_closed(&set));
+        prop_assert!(set.len() <= 2 * (tree.levels() + 1));
+    }
+
+    /// The store answers point and range queries exactly, regardless of
+    /// allocation, block size or pool size.
+    #[test]
+    fn store_is_exact(
+        raw in prop::collection::vec(-100.0_f64..100.0, 32),
+        b_exp in 1u32..=5,
+        pool_size in 1usize..8,
+        kind_pick in 0usize..3,
+        t in 0usize..32,
+        (lo, hi) in (0usize..32, 0usize..32),
+    ) {
+        let kind = [AllocKind::Sequential, AllocKind::Random(9), AllocKind::TreeTiling][kind_pick];
+        let store = WaveletStore::from_signal(&raw, 1 << b_exp, kind);
+        let mut pool = BufferPool::new(pool_size);
+        prop_assert!((store.point_value(t, &mut pool) - raw[t]).abs() < 1e-8);
+        let (a, b) = (lo.min(hi), lo.max(hi));
+        let expect: f64 = raw[a..=b].iter().sum();
+        prop_assert!((store.range_sum(a, b, &mut pool) - expect).abs() < 1e-7);
+    }
+
+    /// Tensor allocation equals the product of its per-dimension
+    /// allocations.
+    #[test]
+    fn tensor_is_product(
+        d0 in pow2(2, 5),
+        d1 in pow2(2, 5),
+        i_seed in 0usize..1_000_000,
+        j_seed in 0usize..1_000_000,
+    ) {
+        let (v0, v1) = (4usize.min(d0), 4usize.min(d1));
+        let tensor = TensorAlloc::new(&[d0, d1], &[v0, v1]);
+        let a0 = TreeTilingAlloc::new(d0, v0);
+        let a1 = TreeTilingAlloc::new(d1, v1);
+        let (i, j) = (i_seed % d0, j_seed % d1);
+        let expect = a0.block_of(i) * a1.num_blocks() + a1.block_of(j);
+        prop_assert_eq!(tensor.block_of_index(&[i, j]), expect);
+        prop_assert_eq!(tensor.block_of(i * d1 + j), expect);
+    }
+
+    /// The buffer pool never exceeds its capacity and never changes query
+    /// answers.
+    #[test]
+    fn pool_is_transparent(
+        raw in prop::collection::vec(-50.0_f64..50.0, 64),
+        accesses in prop::collection::vec(0usize..64, 1..40),
+        cap in 1usize..6,
+    ) {
+        let store = WaveletStore::from_signal(&raw, 8, AllocKind::TreeTiling);
+        let mut pool = BufferPool::new(cap);
+        for &t in &accesses {
+            prop_assert!((store.point_value(t, &mut pool) - raw[t]).abs() < 1e-8);
+            prop_assert!(pool.resident() <= cap);
+        }
+        // Hits + misses = total fetches issued through the pool.
+        let stats = pool.stats();
+        prop_assert!(stats.hits + stats.misses >= accesses.len() as u64);
+    }
+}

@@ -1,0 +1,143 @@
+//! The bounded-memory continuous-data-stream engine.
+//!
+//! CDS constraints (§1.2, §3.4): "queries must be answered based on
+//! limited amount of information rather than the entire dataset" and "the
+//! data can be looked at only once due to the real-time constraints". The
+//! sliding window is that limited information: a fixed-capacity ring of
+//! recent frames, with O(1) amortized frame ingestion.
+
+use std::collections::VecDeque;
+
+use aims_linalg::Matrix;
+use aims_sensors::types::{MultiStream, StreamSpec};
+
+/// A fixed-capacity sliding window over multi-sensor frames.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    spec: StreamSpec,
+    capacity: usize,
+    frames: VecDeque<Vec<f64>>,
+    /// Total frames ever pushed (stream position of the next frame).
+    position: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window of at most `capacity` frames.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(spec: StreamSpec, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow { spec, capacity, frames: VecDeque::with_capacity(capacity), position: 0 }
+    }
+
+    /// Pushes one frame, evicting the oldest when full. Returns the
+    /// stream position of the pushed frame.
+    ///
+    /// # Panics
+    /// If the frame width disagrees with the spec.
+    pub fn push(&mut self, frame: &[f64]) -> usize {
+        assert_eq!(frame.len(), self.spec.channels(), "frame width mismatch");
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame.to_vec());
+        let pos = self.position;
+        self.position += 1;
+        pos
+    }
+
+    /// Frames currently held.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True before any frame arrives.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// True once the window has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() == self.capacity
+    }
+
+    /// Stream position of the oldest frame in the window.
+    pub fn start_position(&self) -> usize {
+        self.position - self.frames.len()
+    }
+
+    /// Total frames ingested so far.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The `channels × frames` matrix of the current window.
+    pub fn to_matrix(&self) -> Matrix {
+        let channels = self.spec.channels();
+        Matrix::from_fn(channels, self.frames.len(), |c, t| self.frames[t][c])
+    }
+
+    /// Copies the window into a standalone stream.
+    pub fn to_stream(&self) -> MultiStream {
+        let mut s = MultiStream::new(self.spec.clone());
+        for f in &self.frames {
+            s.push(f);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> StreamSpec {
+        StreamSpec::anonymous(2, 100.0)
+    }
+
+    #[test]
+    fn fills_then_slides() {
+        let mut w = SlidingWindow::new(spec(), 3);
+        assert!(w.is_empty());
+        for i in 0..5 {
+            let pos = w.push(&[i as f64, -(i as f64)]);
+            assert_eq!(pos, i);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.start_position(), 2);
+        assert_eq!(w.position(), 5);
+        let m = w.to_matrix();
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 2.0); // oldest surviving frame
+        assert_eq!(m[(0, 2)], 4.0); // newest
+    }
+
+    #[test]
+    fn to_stream_matches_window() {
+        let mut w = SlidingWindow::new(spec(), 4);
+        for i in 0..4 {
+            w.push(&[i as f64, 0.0]);
+        }
+        let s = w.to_stream();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.channel(0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut w = SlidingWindow::new(spec(), 8);
+        for i in 0..10_000 {
+            w.push(&[i as f64, 1.0]);
+        }
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.start_position(), 9992);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame width mismatch")]
+    fn wrong_width_panics() {
+        SlidingWindow::new(spec(), 2).push(&[1.0]);
+    }
+}

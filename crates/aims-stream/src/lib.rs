@@ -1,0 +1,35 @@
+//! Online query and analysis over continuous immersidata streams
+//! (paper §3.4).
+//!
+//! The online mode must "recognize a specific behavior by real-time
+//! analysis of immersidata as it becomes available" under the CDS
+//! constraints: bounded state, one look at each sample, *tight* aggregation
+//! across all sensors (a sample only means something as a 28-dimensional
+//! point), and variable-length patterns. The paper's answer is a
+//! weighted-sum SVD similarity measure plus an information-theoretic
+//! accumulation heuristic that isolates and recognizes patterns
+//! simultaneously.
+//!
+//! - [`signature`]: SVD signatures of stream windows — from raw matrices,
+//!   from incremental SVD, or from Gram/covariance matrices assembled out
+//!   of ProPolyne second-order range sums (§3.4.1).
+//! - [`similarity`]: the weighted-sum SVD similarity measure.
+//! - [`baselines`]: Euclidean, DFT and DWT sequence-similarity baselines
+//!   (§3.4.2).
+//! - [`vocabulary`]: matching against a library of known motions.
+//! - [`engine`]: the bounded-memory sliding-window CDS engine.
+//! - [`isolation`]: the accumulation heuristic for simultaneous pattern
+//!   isolation + recognition, with segmentation metrics.
+
+pub mod baselines;
+pub mod engine;
+pub mod isolation;
+pub mod signature;
+pub mod similarity;
+pub mod vocabulary;
+
+pub use engine::SlidingWindow;
+pub use isolation::{DetectedPattern, IsolationConfig, StreamRecognizer};
+pub use signature::SvdSignature;
+pub use similarity::weighted_svd_similarity;
+pub use vocabulary::VocabularyMatcher;

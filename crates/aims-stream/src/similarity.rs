@@ -1,0 +1,98 @@
+//! The weighted-sum SVD similarity over multi-sensor streams.
+//!
+//! Thin stream-level wrapper over [`SvdSignature`]: converts
+//! [`MultiStream`] windows to sensor matrices and compares them. The
+//! measure "works directly on an aggregation of several sensor streams
+//! (represented as a matrix)", "performs dimension reduction", and
+//! "functions as a similarity measure by comparing corresponding
+//! eigenvectors weighted by their respective eigenvalues" (§3.4).
+
+use aims_sensors::types::MultiStream;
+
+use crate::signature::SvdSignature;
+
+/// Default number of retained SVD directions.
+pub const DEFAULT_RANK: usize = 6;
+
+/// Weighted-sum SVD similarity of two streams (any lengths, same channel
+/// count), in `[0, 1]`.
+///
+/// ```
+/// use aims_sensors::types::{MultiStream, StreamSpec};
+/// use aims_stream::similarity::weighted_svd_similarity;
+///
+/// let spec = StreamSpec::anonymous(2, 100.0);
+/// let a = MultiStream::from_channels(spec.clone(), &[
+///     (0..40).map(|i| (i as f64 * 0.3).sin()).collect(),
+///     (0..40).map(|i| (i as f64 * 0.3).sin() * 2.0).collect(),
+/// ]);
+/// // Same cross-channel structure at a different duration: still similar.
+/// let b = MultiStream::from_channels(spec, &[
+///     (0..90).map(|i| (i as f64 * 0.3).sin()).collect(),
+///     (0..90).map(|i| (i as f64 * 0.3).sin() * 2.0).collect(),
+/// ]);
+/// assert!(weighted_svd_similarity(&a, &b, 2) > 0.95);
+/// ```
+///
+/// # Panics
+/// If either stream is empty or channel counts differ.
+pub fn weighted_svd_similarity(a: &MultiStream, b: &MultiStream, rank: usize) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "cannot compare empty streams");
+    assert_eq!(a.channels(), b.channels(), "channel count mismatch");
+    let sa = SvdSignature::from_matrix(&a.to_sensor_matrix(), rank);
+    let sb = SvdSignature::from_matrix(&b.to_sensor_matrix(), rank);
+    sa.similarity(&sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aims_sensors::asl::AslVocabulary;
+    use aims_sensors::glove::CyberGloveRig;
+    use aims_sensors::noise::NoiseSource;
+
+    #[test]
+    fn same_sign_instances_are_more_similar_than_different_signs() {
+        let vocab = AslVocabulary::standard(CyberGloveRig::default());
+        let mut noise = NoiseSource::seeded(42);
+        let a1 = vocab.instance(0, &mut noise).stream;
+        let a2 = vocab.instance(0, &mut noise).stream;
+        let b = vocab.instance(1, &mut noise).stream;
+        let same = weighted_svd_similarity(&a1, &a2, DEFAULT_RANK);
+        let diff = weighted_svd_similarity(&a1, &b, DEFAULT_RANK);
+        assert!(same > diff, "same {same} !> diff {diff}");
+    }
+
+    #[test]
+    fn handles_very_different_durations() {
+        let vocab = AslVocabulary::standard(CyberGloveRig::default());
+        let mut noise = NoiseSource::seeded(7);
+        // Short and long instances of the same sign still match well.
+        let mut best_same: f64 = 0.0;
+        let mut instances = Vec::new();
+        for _ in 0..6 {
+            instances.push(vocab.instance(2, &mut noise).stream);
+        }
+        let lens: Vec<usize> = instances.iter().map(|s| s.len()).collect();
+        assert!(lens.iter().max().unwrap() > lens.iter().min().unwrap());
+        for i in 0..instances.len() {
+            for j in i + 1..instances.len() {
+                best_same =
+                    best_same.max(weighted_svd_similarity(&instances[i], &instances[j], 6));
+            }
+        }
+        assert!(best_same > 0.9, "best same-sign similarity {best_same}");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn mismatched_channels_panic() {
+        use aims_sensors::types::StreamSpec;
+        let a = MultiStream::from_channels(StreamSpec::anonymous(2, 10.0), &[vec![1.0], vec![1.0]]);
+        let b = MultiStream::from_channels(
+            StreamSpec::anonymous(3, 10.0),
+            &[vec![1.0], vec![1.0], vec![1.0]],
+        );
+        weighted_svd_similarity(&a, &b, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Matching streams against a library of known motions.
+//!
+//! "The main query in this application is to recognize signs in
+//! particular, or specific hand motions in general" (§2.2) by comparison
+//! "with a known library of motions, termed vocabulary". The matcher
+//! stores one or more template recordings per label and classifies a query
+//! window by the best template similarity under a chosen measure.
+
+use aims_sensors::types::MultiStream;
+
+use crate::baselines::SimilarityMeasure;
+
+/// A labeled template library with a fixed similarity measure.
+#[derive(Clone, Debug)]
+pub struct VocabularyMatcher {
+    measure: SimilarityMeasure,
+    templates: Vec<(usize, MultiStream)>,
+    num_labels: usize,
+}
+
+impl VocabularyMatcher {
+    /// Creates an empty matcher.
+    pub fn new(measure: SimilarityMeasure) -> Self {
+        VocabularyMatcher { measure, templates: Vec::new(), num_labels: 0 }
+    }
+
+    /// Adds a template recording for `label`.
+    pub fn add_template(&mut self, label: usize, stream: MultiStream) {
+        assert!(!stream.is_empty(), "empty template");
+        self.num_labels = self.num_labels.max(label + 1);
+        self.templates.push((label, stream));
+    }
+
+    /// Number of distinct labels seen.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Number of stored templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The measure in use.
+    pub fn measure(&self) -> SimilarityMeasure {
+        self.measure
+    }
+
+    /// Per-label best similarity against the query window.
+    ///
+    /// # Panics
+    /// If no templates are stored.
+    pub fn scores(&self, query: &MultiStream) -> Vec<f64> {
+        assert!(!self.templates.is_empty(), "no templates in vocabulary");
+        let mut best = vec![f64::NEG_INFINITY; self.num_labels];
+        for (label, template) in &self.templates {
+            let s = self.measure.similarity(query, template);
+            if s > best[*label] {
+                best[*label] = s;
+            }
+        }
+        best
+    }
+
+    /// Classifies the query: `(best label, its score)`.
+    pub fn classify(&self, query: &MultiStream) -> (usize, f64) {
+        let scores = self.scores(query);
+        let (label, &score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty scores");
+        (label, score)
+    }
+
+    /// Rank-1 recognition accuracy over a labeled test set.
+    pub fn accuracy(&self, test: &[(usize, MultiStream)]) -> f64 {
+        assert!(!test.is_empty(), "empty test set");
+        let hits = test
+            .iter()
+            .filter(|(label, stream)| self.classify(stream).0 == *label)
+            .count();
+        hits as f64 / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aims_sensors::asl::AslVocabulary;
+    use aims_sensors::glove::CyberGloveRig;
+    use aims_sensors::noise::NoiseSource;
+
+    fn trained_matcher(measure: SimilarityMeasure, seed: u64) -> (VocabularyMatcher, AslVocabulary) {
+        let vocab = AslVocabulary::standard(CyberGloveRig::default());
+        let mut noise = NoiseSource::seeded(seed);
+        let mut matcher = VocabularyMatcher::new(measure);
+        for label in 0..vocab.len() {
+            for _ in 0..2 {
+                matcher.add_template(label, vocab.instance(label, &mut noise).stream);
+            }
+        }
+        (matcher, vocab)
+    }
+
+    #[test]
+    fn svd_matcher_recognizes_standard_vocabulary() {
+        let (matcher, vocab) = trained_matcher(SimilarityMeasure::WeightedSvd, 1);
+        let mut noise = NoiseSource::seeded(99);
+        let test: Vec<(usize, _)> = vocab
+            .instance_set(5, &mut noise)
+            .into_iter()
+            .map(|i| (i.label, i.stream))
+            .collect();
+        let acc = matcher.accuracy(&test);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_vector_shape() {
+        let (matcher, vocab) = trained_matcher(SimilarityMeasure::WeightedSvd, 2);
+        let mut noise = NoiseSource::seeded(5);
+        let q = vocab.instance(3, &mut noise).stream;
+        let scores = matcher.scores(&q);
+        assert_eq!(scores.len(), 6);
+        let (label, score) = matcher.classify(&q);
+        assert_eq!(scores[label], score);
+        assert!(scores.iter().all(|&s| s <= score));
+    }
+
+    #[test]
+    fn template_count_tracking() {
+        let mut m = VocabularyMatcher::new(SimilarityMeasure::Euclidean);
+        assert_eq!(m.num_templates(), 0);
+        let vocab = AslVocabulary::standard(CyberGloveRig::default());
+        let mut noise = NoiseSource::seeded(3);
+        m.add_template(2, vocab.instance(2, &mut noise).stream);
+        assert_eq!(m.num_templates(), 1);
+        assert_eq!(m.num_labels(), 3); // labels 0..=2 allocated
+    }
+
+    #[test]
+    #[should_panic(expected = "no templates")]
+    fn empty_matcher_panics() {
+        let vocab = AslVocabulary::standard(CyberGloveRig::default());
+        let mut noise = NoiseSource::seeded(4);
+        let q = vocab.instance(0, &mut noise).stream;
+        VocabularyMatcher::new(SimilarityMeasure::Dft).scores(&q);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the online-analysis invariants.
+
+use proptest::prelude::*;
+
+use aims_linalg::Matrix;
+use aims_sensors::types::{MultiStream, StreamSpec};
+use aims_stream::baselines::SimilarityMeasure;
+use aims_stream::engine::SlidingWindow;
+use aims_stream::isolation::{evaluate_isolation, DetectedPattern};
+use aims_stream::signature::SvdSignature;
+
+fn random_stream(channels: usize, frames: usize, seed: u64) -> MultiStream {
+    let spec = StreamSpec::anonymous(channels, 100.0);
+    let mut stream = MultiStream::new(spec);
+    let mut state = seed.max(1);
+    for _ in 0..frames {
+        let f: Vec<f64> = (0..channels)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 500) as f64 / 25.0 - 10.0
+            })
+            .collect();
+        stream.push(&f);
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// All similarity measures are symmetric, bounded in [0,1], and give
+    /// (near) 1 on identical streams.
+    #[test]
+    fn similarity_measure_axioms(
+        channels in 2usize..6,
+        la in 8usize..60,
+        lb in 8usize..60,
+        seed in 0u64..500,
+    ) {
+        let a = random_stream(channels, la, seed);
+        let b = random_stream(channels, lb, seed.wrapping_add(1));
+        for m in SimilarityMeasure::ALL {
+            let sab = m.similarity(&a, &b);
+            let sba = m.similarity(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&sab), "{}: {}", m.name(), sab);
+            prop_assert!((sab - sba).abs() < 1e-9, "{} asymmetric", m.name());
+            let saa = m.similarity(&a, &a);
+            prop_assert!(saa > 0.95, "{} self-similarity {}", m.name(), saa);
+        }
+    }
+
+    /// Signatures are scale-invariant: scaling the window scales σ but not
+    /// the similarity structure.
+    #[test]
+    fn signature_scale_invariance(
+        rows in 2usize..6,
+        cols in 4usize..30,
+        seed in 0u64..300,
+        scale in 0.1_f64..50.0,
+    ) {
+        let mut state = seed.max(1);
+        let m = Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 97) as f64 - 48.0
+        });
+        let sig = SvdSignature::from_matrix(&m, 3);
+        let sig_scaled = SvdSignature::from_matrix(&m.scaled(scale), 3);
+        prop_assert!((sig.similarity(&sig_scaled) - 1.0).abs() < 1e-6);
+        for (a, b) in sig.shares.iter().zip(&sig_scaled.shares) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The sliding window always reports consistent positions and bounded
+    /// memory, whatever the push pattern.
+    #[test]
+    fn sliding_window_invariants(
+        capacity in 1usize..20,
+        pushes in 0usize..200,
+    ) {
+        let mut w = SlidingWindow::new(StreamSpec::anonymous(2, 50.0), capacity);
+        for i in 0..pushes {
+            let pos = w.push(&[i as f64, -(i as f64)]);
+            prop_assert_eq!(pos, i);
+            prop_assert!(w.len() <= capacity);
+            prop_assert_eq!(w.start_position() + w.len(), w.position());
+        }
+        prop_assert_eq!(w.position(), pushes);
+        if pushes > 0 {
+            let m = w.to_matrix();
+            prop_assert_eq!(m.cols(), w.len());
+            // Newest frame is the last column.
+            prop_assert_eq!(m[(0, w.len() - 1)], (pushes - 1) as f64);
+        }
+    }
+
+    /// Isolation scoring: precision/recall/F1 stay in [0,1], and a perfect
+    /// detection set scores perfectly.
+    #[test]
+    fn isolation_scores_are_probabilities(
+        segments in prop::collection::vec((0usize..5, 10usize..50), 1..6),
+    ) {
+        // Build non-overlapping truth segments and matching detections.
+        let mut truth = Vec::new();
+        let mut detections = Vec::new();
+        let mut cursor = 0usize;
+        for (label, len) in segments {
+            let start = cursor + 5;
+            let end = start + len;
+            truth.push((label, start, end));
+            detections.push(DetectedPattern {
+                label,
+                start: start + 1,
+                end: end.saturating_sub(1).max(start + 2),
+                peak_evidence: 1.0,
+            });
+            cursor = end;
+        }
+        let perfect = evaluate_isolation(&detections, &truth, 0.3);
+        prop_assert!((perfect.f1 - 1.0).abs() < 1e-9);
+        prop_assert!((perfect.label_accuracy - 1.0).abs() < 1e-9);
+
+        // Half the detections removed: recall drops, precision stays 1.
+        let half: Vec<_> = detections.iter().step_by(2).cloned().collect();
+        let partial = evaluate_isolation(&half, &truth, 0.3);
+        prop_assert!(partial.precision > 0.99);
+        prop_assert!(partial.recall <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&partial.f1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: one glove session through the full AIMS pipeline —
+//! acquisition, blocked wavelet storage, and a few offline queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aims::sensors::glove::CyberGloveRig;
+use aims::sensors::noise::NoiseSource;
+use aims::{AimsConfig, AimsSystem};
+
+fn main() {
+    // 1. Simulate a 5-second CyberGlove + tracker session (28 channels at
+    //    100 Hz — the paper's "40 KB/s per user" regime).
+    let rig = CyberGloveRig::default();
+    let mut noise = NoiseSource::seeded(2026);
+    let session = rig.record_session(5.0, 0.6, &mut noise);
+    println!(
+        "captured {} frames x {} channels ({} bytes on the wire)",
+        session.len(),
+        session.channels(),
+        session.device_size_bytes()
+    );
+
+    // 2. Ingest: adaptive sampling + Haar transform + error-tree-tiled
+    //    block storage.
+    let mut system = AimsSystem::new(AimsConfig::default());
+    let report = system.ingest(&session);
+    println!(
+        "ingested: {} bytes after adaptive sampling ({:.1}x compression, rmse {:.3})",
+        report.sampled_bytes,
+        session.device_size_bytes() as f64 / report.sampled_bytes as f64,
+        report.sampling_rmse
+    );
+
+    // 3. Offline queries served from blocked wavelet storage.
+    let reads_before = system.total_block_reads();
+    let thumb_now = system.channel_value(0, 2.5).unwrap();
+    let thumb_avg = system.channel_average(0, 0.0, 5.0).unwrap();
+    let wrist_sum = system.channel_range_sum(27, 1.0, 4.0).unwrap();
+    let reads = system.total_block_reads() - reads_before;
+    println!("thumb roll at t=2.5s : {thumb_now:8.2} deg");
+    println!("thumb roll average   : {thumb_avg:8.2} deg");
+    println!("wrist roll sum 1-4s  : {wrist_sum:8.2}");
+    println!("block reads for the three queries: {reads}");
+}
