@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local CI gate for the AIMS workspace. Fully offline: every dependency is
+# path-based (workspace crates + vendor/ stand-ins), so no network or
+# registry access is needed. Run from the repo root:
+#
+#   ./ci.sh          # fmt check, clippy -D warnings, build, tests
+#   ./ci.sh --fast   # skip the release build (debug tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+    echo "== cargo build --release =="
+    cargo build --release
+fi
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI OK"

@@ -197,7 +197,10 @@ mod tests {
         let value = smooth(n);
         let plan = select_bases(&[sensor_id, value], &SelectionParams::default());
         assert_eq!(plan.per_dim[0], BasisChoice::Standard);
-        assert!(matches!(plan.per_dim[1], BasisChoice::Wavelet(_) | BasisChoice::WaveletPacket(..)));
+        assert!(matches!(
+            plan.per_dim[1],
+            BasisChoice::Wavelet(_) | BasisChoice::WaveletPacket(..)
+        ));
         assert_eq!(plan.standard_dims(), vec![0]);
         assert_eq!(plan.wavelet_dims(), vec![1]);
     }

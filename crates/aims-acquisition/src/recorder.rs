@@ -13,11 +13,11 @@
 //! Overruns are counted rather than hidden, so experiments can size the
 //! buffer honestly.
 
+use std::sync::mpsc::{sync_channel, TryRecvError, TrySendError};
 use std::thread;
 
-use crossbeam::channel::{bounded, TryRecvError, TrySendError};
-
 use aims_sensors::types::MultiStream;
+use aims_telemetry::{global, span};
 
 /// Recorder tuning.
 #[derive(Clone, Copy, Debug)]
@@ -81,7 +81,8 @@ impl DoubleBufferRecorder {
     /// and appends them to the stored stream (optionally sleeping to model
     /// storage latency).
     pub fn record(&self, source: &MultiStream) -> (MultiStream, RecordingStats) {
-        let (tx, rx) = bounded::<Vec<f64>>(self.config.buffer_frames);
+        let _span = span!("acquisition.recorder.record");
+        let (tx, rx) = sync_channel::<Vec<f64>>(self.config.buffer_frames);
         let spec = source.spec().clone();
         let batch_size = self.config.batch_size.max(1);
         let latency = self.config.store_latency_us;
@@ -126,11 +127,12 @@ impl DoubleBufferRecorder {
         drop(tx);
         let (stored, batches) = consumer.join().expect("storage thread panicked");
 
-        let stats = RecordingStats {
-            stored_frames: offered - dropped,
-            dropped_frames: dropped,
-            batches,
-        };
+        let stats =
+            RecordingStats { stored_frames: offered - dropped, dropped_frames: dropped, batches };
+        let telemetry = global();
+        telemetry.counter("acquisition.recorder.stored_frames").add(stats.stored_frames as u64);
+        telemetry.counter("acquisition.recorder.dropped_frames").add(dropped as u64);
+        telemetry.counter("acquisition.recorder.batches").add(batches as u64);
         debug_assert_eq!(stats.stored_frames, stored.len());
         (stored, stats)
     }
@@ -143,9 +145,8 @@ mod tests {
 
     fn stream(frames: usize) -> MultiStream {
         let spec = StreamSpec::anonymous(3, 100.0);
-        let channels: Vec<Vec<f64>> = (0..3)
-            .map(|c| (0..frames).map(|t| (t * 3 + c) as f64).collect())
-            .collect();
+        let channels: Vec<Vec<f64>> =
+            (0..3).map(|c| (0..frames).map(|t| (t * 3 + c) as f64).collect()).collect();
         MultiStream::from_channels(spec, &channels)
     }
 

@@ -22,6 +22,7 @@
 
 use aims_dsp::spectrum::{estimate_nyquist_rate, FmaxEstimator};
 use aims_sensors::types::{MultiStream, DEVICE_SAMPLE_BYTES};
+use aims_telemetry::{global, span};
 
 /// Which of the paper's four techniques to apply.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,12 +39,8 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies in the paper's order.
-    pub const ALL: [Strategy; 4] = [
-        Strategy::Fixed,
-        Strategy::ModifiedFixed,
-        Strategy::Grouped,
-        Strategy::Adaptive,
-    ];
+    pub const ALL: [Strategy; 4] =
+        [Strategy::Fixed, Strategy::ModifiedFixed, Strategy::Grouped, Strategy::Adaptive];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -190,9 +187,8 @@ fn cluster_rates(rates: &[f64], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
     // Gaps between consecutive sorted rates.
-    let mut gaps: Vec<(f64, usize)> = (1..n)
-        .map(|i| (rates[order[i]] - rates[order[i - 1]], i))
-        .collect();
+    let mut gaps: Vec<(f64, usize)> =
+        (1..n).map(|i| (rates[order[i]] - rates[order[i - 1]], i)).collect();
     gaps.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     let mut cuts: Vec<usize> = gaps.iter().take(k - 1).map(|&(_, i)| i).collect();
     cuts.sort_unstable();
@@ -240,6 +236,7 @@ pub fn sample_stream(
     params: &SamplingParams,
 ) -> SamplingResult {
     assert!(!reference.is_empty(), "cannot sample an empty stream");
+    let _span = span!("acquisition.sampling.sample_stream");
     let native = reference.spec().sample_rate;
     let len = reference.len();
     let channels = reference.channels();
@@ -283,10 +280,8 @@ pub fn sample_stream(
         Strategy::Grouped => {
             // Cluster sensors by whole-session requirement; one fixed rate
             // per cluster (the cluster max).
-            let rates: Vec<f64> = channel_signals
-                .iter()
-                .map(|s| required_rate(s, native, params))
-                .collect();
+            let rates: Vec<f64> =
+                channel_signals.iter().map(|s| required_rate(s, native, params)).collect();
             let groups = cluster_rates(&rates, params.groups);
             let n_groups = groups.iter().copied().max().unwrap_or(0) + 1;
             let mut group_rate = vec![params.min_rate; n_groups];
@@ -324,6 +319,20 @@ pub fn sample_stream(
         kept_samples += kept.len();
         recon_channels.push(interpolate(kept, len));
     }
+
+    // Telemetry: how much the strategy decided to keep vs. what a naive
+    // full-rate acquisition would have shipped (the paper's bandwidth
+    // claim), plus which strategy made the decision.
+    let offered = len * channels;
+    let telemetry = global();
+    telemetry.counter("acquisition.sampling.runs").inc();
+    telemetry.counter(&format!("acquisition.sampling.strategy.{}", strategy.name())).inc();
+    telemetry.counter("acquisition.sampling.frames_offered").add(offered as u64);
+    telemetry.counter("acquisition.sampling.samples_kept").add(kept_samples as u64);
+    telemetry
+        .counter("acquisition.sampling.samples_saved")
+        .add(offered.saturating_sub(kept_samples) as u64);
+    telemetry.gauge("acquisition.sampling.keep_ratio").set(kept_samples as f64 / offered as f64);
 
     SamplingResult {
         strategy,
@@ -373,12 +382,7 @@ mod tests {
         let fixed = sample_stream(&s, Strategy::Fixed, &params);
         let grouped = sample_stream(&s, Strategy::Grouped, &params);
         let adaptive = sample_stream(&s, Strategy::Adaptive, &params);
-        assert!(
-            grouped.bytes < fixed.bytes,
-            "grouped {} !< fixed {}",
-            grouped.bytes,
-            fixed.bytes
-        );
+        assert!(grouped.bytes < fixed.bytes, "grouped {} !< fixed {}", grouped.bytes, fixed.bytes);
         assert!(
             adaptive.bytes < fixed.bytes,
             "adaptive {} !< fixed {}",

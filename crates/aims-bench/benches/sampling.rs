@@ -18,22 +18,17 @@ fn bench_strategies(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements((session.len() * session.channels()) as u64));
     for strategy in Strategy::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &session,
-            |b, s| {
-                b.iter(|| sample_stream(s, strategy, &params));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(strategy.name()), &session, |b, s| {
+            b.iter(|| sample_stream(s, strategy, &params));
+        });
     }
     g.finish();
 }
 
 fn bench_nyquist_estimators(c: &mut Criterion) {
     use aims_dsp::spectrum::{estimate_nyquist_rate, FmaxEstimator};
-    let signal: Vec<f64> = (0..4096)
-        .map(|i| (i as f64 * 0.05).sin() * 10.0 + (i as f64 * 0.4).sin())
-        .collect();
+    let signal: Vec<f64> =
+        (0..4096).map(|i| (i as f64 * 0.05).sin() * 10.0 + (i as f64 * 0.4).sin()).collect();
     let mut g = c.benchmark_group("nyquist_estimators");
     for (name, est) in [
         ("dft", FmaxEstimator::Dft),

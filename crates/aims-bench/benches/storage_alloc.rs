@@ -39,10 +39,7 @@ fn bench_range_sums(c: &mut Criterion) {
     let n = 1 << 16;
     let x = signal(n);
     let mut g = c.benchmark_group("store_range_sums");
-    for (name, kind) in [
-        ("tiling", AllocKind::TreeTiling),
-        ("sequential", AllocKind::Sequential),
-    ] {
+    for (name, kind) in [("tiling", AllocKind::TreeTiling), ("sequential", AllocKind::Sequential)] {
         let store = WaveletStore::from_signal(&x, 64, kind);
         g.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
             b.iter(|| {

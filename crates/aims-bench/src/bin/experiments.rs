@@ -6,7 +6,9 @@
 //!   cargo run --release -p aims-bench --bin experiments            # all
 //!   cargo run --release -p aims-bench --bin experiments -- e9 e13  # some
 
-use aims_bench::{exp_acquisition, exp_adhd, exp_extensions, exp_online, exp_propolyne, exp_storage, exp_system};
+use aims_bench::{
+    exp_acquisition, exp_adhd, exp_extensions, exp_online, exp_propolyne, exp_storage, exp_system,
+};
 
 type Experiment = (&'static str, fn());
 
@@ -57,10 +59,13 @@ fn main() {
     };
 
     println!("AIMS reproduction — experiment suite ({} selected)", selected.len());
-    let t0 = std::time::Instant::now();
-    for (_, run) in &selected {
-        run();
-    }
+    let report = aims_bench::TelemetryReport::start();
+    let (_, wall) = aims_bench::timed("bench.suite", || {
+        for (_, run) in &selected {
+            run();
+        }
+    });
     println!("\n{}", "=".repeat(78));
-    println!("completed {} experiments in {:.1?}", selected.len(), t0.elapsed());
+    println!("completed {} experiments in {wall:.1?}", selected.len());
+    report.finish("experiment suite (cumulative)");
 }

@@ -170,13 +170,7 @@ pub fn e3_multibasis() {
                 compaction(&dwt_full(&padded, &k.filter()))
             }
         };
-        println!(
-            "{:>20} {:>18} {:>22.3} {:>22.3}",
-            name,
-            basis.label(),
-            std_score,
-            chosen_score
-        );
+        println!("{:>20} {:>18} {:>22.3} {:>22.3}", name, basis.label(), std_score, chosen_score);
     }
     println!("\nshape check: id-like dimensions stay 'standard'; signal dimensions get a");
     println!("wavelet basis whose top-10% coefficients capture nearly all the energy.");

@@ -2,8 +2,7 @@
 //! §2.1).
 
 use aims_learn::{
-    cross_validate, Dataset, DecisionTree, GaussianNaiveBayes, KNearestNeighbors, Label,
-    LinearSvm,
+    cross_validate, Dataset, DecisionTree, GaussianNaiveBayes, KNearestNeighbors, Label, LinearSvm,
 };
 use aims_propolyne::cube::AttributeSpace;
 use aims_propolyne::stats::CubeStats;
@@ -39,7 +38,10 @@ pub fn e13_adhd_classification() {
         dataset.dim()
     );
 
-    println!("\n{:>22} {:>12} {:>10} {:>10} {:>8}", "classifier", "accuracy", "precision", "recall", "F1");
+    println!(
+        "\n{:>22} {:>12} {:>10} {:>10} {:>8}",
+        "classifier", "accuracy", "precision", "recall", "F1"
+    );
     let rows: Vec<(&str, aims_learn::CvReport)> = vec![
         ("linear SVM (paper)", cross_validate::<LinearSvm>(&dataset, 5, 7)),
         ("naive Bayes", cross_validate::<GaussianNaiveBayes>(&dataset, 5, 7)),
@@ -100,11 +102,8 @@ pub fn e14_adhd_queries() {
         let bin = space.bin(0, s.subject_id as f64 + 0.5);
         let ranges = [(bin, bin), (0, 127), (0, 31)];
         let prop = stats.average(1, &ranges);
-        let direct: Vec<f64> = reference
-            .iter()
-            .filter(|t| space.bin(0, t[0]) == bin)
-            .map(|t| t[1])
-            .collect();
+        let direct: Vec<f64> =
+            reference.iter().filter(|t| space.bin(0, t[0]) == bin).map(|t| t[1]).collect();
         if let (Some(p), false) = (prop, direct.is_empty()) {
             let scan_avg = direct.iter().sum::<f64>() / direct.len() as f64;
             max_dev = max_dev.max((p - scan_avg).abs() / scan_avg);

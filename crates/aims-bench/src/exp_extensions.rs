@@ -1,8 +1,6 @@
 //! Experiments E20–E22: the paper's proposed refinements ("future work"
 //! it sketches in §3.3.1 and §3.4.1), implemented and measured.
 
-use std::time::Instant;
-
 use aims_linalg::RandomProjection;
 use aims_propolyne::batch::{drill_down_queries, progressive_batch, BatchErrorNorm};
 use aims_propolyne::engine::Propolyne;
@@ -29,7 +27,10 @@ pub fn e20_batch_error_norms() {
     let queries = drill_down_queries(&base, 0, 16);
 
     println!("16-bucket drill-down, errors after 25% of shared fetches:");
-    println!("{:>16} {:>14} {:>14} {:>12} {:>12}", "fetch order", "L2 err @25%", "max err @25%", "L2 AUC", "max AUC");
+    println!(
+        "{:>16} {:>14} {:>14} {:>12} {:>12}",
+        "fetch order", "L2 err @25%", "max err @25%", "L2 AUC", "max AUC"
+    );
     for norm in [BatchErrorNorm::L2Total, BatchErrorNorm::MaxQuery] {
         let run = progressive_batch(&engine, &queries, norm);
         let quarter = &run.steps[run.steps.len() / 4];
@@ -67,9 +68,10 @@ pub fn e21_incremental_recognizer() {
     for incremental in [false, true] {
         let config = IsolationConfig { incremental, ..Default::default() };
         let mut rec = StreamRecognizer::new(&templates, vocab.rig.spec(), config);
-        let t0 = Instant::now();
-        let detections = rec.process_stream(&stream);
-        let elapsed = t0.elapsed();
+        let (detections, elapsed) = crate::timed(
+            if incremental { "bench.e21.incremental" } else { "bench.e21.batch" },
+            || rec.process_stream(&stream),
+        );
         let report = evaluate_isolation(&detections, &truth_tuples, 0.3);
         println!(
             "{:>14} {:>8.2} {:>12.2} {:>14.1}",
@@ -95,9 +97,8 @@ pub fn e22_random_projection() {
     let vocab = AslVocabulary::synthetic_with_separation(16, 53, rig, 30.0);
     let mut train = NoiseSource::seeded(3);
     let mut test = NoiseSource::seeded(4);
-    let templates: Vec<(usize, MultiStream)> = (0..vocab.len())
-        .map(|l| (l, vocab.instance(l, &mut train).stream))
-        .collect();
+    let templates: Vec<(usize, MultiStream)> =
+        (0..vocab.len()).map(|l| (l, vocab.instance(l, &mut train).stream)).collect();
     let instances: Vec<(usize, MultiStream)> = (0..vocab.len())
         .flat_map(|l| (0..10).map(move |_| l))
         .map(|l| (l, vocab.instance(l, &mut test).stream))
@@ -114,22 +115,22 @@ pub fn e22_random_projection() {
         };
         let template_sigs: Vec<(usize, SvdSignature)> =
             templates.iter().map(|(l, s)| (*l, signature(s))).collect();
-        let t0 = Instant::now();
-        let mut hits = 0;
-        for (label, stream) in &instances {
-            let sig = signature(stream);
-            let best = template_sigs
-                .iter()
-                .max_by(|a, b| {
-                    a.1.similarity(&sig).partial_cmp(&b.1.similarity(&sig)).unwrap()
-                })
-                .unwrap()
-                .0;
-            if best == *label {
-                hits += 1;
+        let (hits, elapsed) = crate::timed("bench.e22.classify", || {
+            let mut hits = 0;
+            for (label, stream) in &instances {
+                let sig = signature(stream);
+                let best = template_sigs
+                    .iter()
+                    .max_by(|a, b| a.1.similarity(&sig).partial_cmp(&b.1.similarity(&sig)).unwrap())
+                    .unwrap()
+                    .0;
+                if best == *label {
+                    hits += 1;
+                }
             }
-        }
-        (hits as f64 / instances.len() as f64, t0.elapsed())
+            hits
+        });
+        (hits as f64 / instances.len() as f64, elapsed)
     };
 
     println!("{:>12} {:>12} {:>14}", "sketch dim", "accuracy", "classify time");
@@ -158,8 +159,8 @@ pub fn e23_packet_basis() {
     let mut cube = DataCube::zeros(&[n, n]);
     for i in 0..n {
         for j in 0..n {
-            *cube.at_mut(&[i, j]) = (std::f64::consts::PI * 0.9 * i as f64).sin()
-                * (2.0 + (j as f64 * 0.05).cos());
+            *cube.at_mut(&[i, j]) =
+                (std::f64::consts::PI * 0.9 * i as f64).sin() * (2.0 + (j as f64 * 0.05).cos());
         }
     }
     let filter = aims_dsp::filters::FilterKind::Db4.filter();

@@ -1,8 +1,6 @@
 //! Experiments E15–E18: the online query-and-analysis subsystem (paper
 //! §3.4, §3.4.1, §3.4.2).
 
-use std::time::Instant;
-
 use aims_linalg::{IncrementalSvd, Matrix, Svd};
 use aims_propolyne::cube::{AttributeSpace, DataCube};
 use aims_propolyne::engine::Propolyne;
@@ -55,11 +53,7 @@ fn motion_vocabulary(pairs: usize, seed: u64) -> Vec<MotionSign> {
 /// One performance of a motion sign: random global onset phase, random
 /// duration, sensor noise — relative phase between channels is the only
 /// reliable signature.
-fn motion_instance(
-    rig: &CyberGloveRig,
-    sign: &MotionSign,
-    noise: &mut NoiseSource,
-) -> MultiStream {
+fn motion_instance(rig: &CyberGloveRig, sign: &MotionSign, noise: &mut NoiseSource) -> MultiStream {
     let shape = aims_sensors::glove::HandShape::neutral();
     let mut motion = sign.motion.clone();
     let global_phase = noise.uniform(0.0, std::f64::consts::TAU);
@@ -128,18 +122,12 @@ pub fn e16_isolation() {
     let mut stream_noise = NoiseSource::seeded(8);
     let labels: Vec<usize> = (0..60).map(|i| (i * 7 + 3) % vocab.len()).collect();
     let (stream, truth) = vocab.sentence(&labels, &mut stream_noise);
-    println!(
-        "stream: {} frames ({:.0}s), {} signs",
-        stream.len(),
-        stream.duration(),
-        truth.len()
-    );
+    println!("stream: {} frames ({:.0}s), {} signs", stream.len(), stream.duration(), truth.len());
 
     let mut recognizer =
         StreamRecognizer::new(&templates, vocab.rig.spec(), IsolationConfig::default());
-    let t0 = Instant::now();
-    let detections = recognizer.process_stream(&stream);
-    let elapsed = t0.elapsed();
+    let (detections, elapsed) =
+        crate::timed("bench.e16.process_stream", || recognizer.process_stream(&stream));
 
     let truth_tuples: Vec<(usize, usize, usize)> =
         truth.iter().map(|t| (t.label, t.start, t.end)).collect();
@@ -154,7 +142,10 @@ pub fn e16_isolation() {
         (0.01 / per_frame) as u64
     );
     println!("\nshape check: F1 and label accuracy well above chance (chance label");
-    println!("accuracy = {:.2}), per-frame cost far under the 10 ms real-time budget.", 1.0 / vocab.len() as f64);
+    println!(
+        "accuracy = {:.2}), per-frame cost far under the 10 ms real-time budget.",
+        1.0 / vocab.len() as f64
+    );
 }
 
 /// E17 — "ProPolyne's class of polynomial range-sum aggregates can be used
@@ -166,10 +157,7 @@ pub fn e17_svd_from_propolyne() {
     let rig = CyberGloveRig::default();
     let mut noise = NoiseSource::seeded(23);
     let d = 4;
-    println!(
-        "{:>8} {:>18} {:>22}",
-        "window", "gram max dev", "signature similarity"
-    );
+    println!("{:>8} {:>18} {:>22}", "window", "gram max dev", "signature similarity");
     for window_s in [0.5f64, 1.0, 2.0] {
         let window = rig.record_session(window_s, 0.7, &mut noise);
         let n = window.len();
@@ -205,8 +193,8 @@ pub fn e17_svd_from_propolyne() {
             let diff = &direct - &gram;
             diff.max_abs() / direct.max_abs()
         };
-        let sim = SvdSignature::from_gram(&direct, 3)
-            .similarity(&SvdSignature::from_gram(&gram, 3));
+        let sim =
+            SvdSignature::from_gram(&direct, 3).similarity(&SvdSignature::from_gram(&gram, 3));
         println!("{:>7.1}s {:>18.4} {:>22.6}", window_s, dev, sim);
     }
     println!("\nshape check: the range-sum Gram matrix matches the direct one to");
@@ -244,25 +232,27 @@ pub fn e18_incremental_svd() {
         // Incremental: absorb the new frames (no downdating — the window
         // grows; the dominant subspace tracking is what matters for
         // similarity).
-        let t0 = Instant::now();
-        for dt in 0..step {
-            let col: aims_linalg::Vector = stream.frame(t + dt).iter().copied().collect();
-            inc.append_column(&col);
-        }
-        let sig_inc = SvdSignature::from_incremental(&inc, 5);
-        inc_time += t0.elapsed();
+        let (sig_inc, dt_inc) = crate::timed("bench.e18.incremental_step", || {
+            for dt in 0..step {
+                let col: aims_linalg::Vector = stream.frame(t + dt).iter().copied().collect();
+                inc.append_column(&col);
+            }
+            SvdSignature::from_incremental(&inc, 5)
+        });
+        inc_time += dt_inc;
 
         // Batch: full SVD of the whole prefix seen so far (what a
         // non-incremental implementation would recompute).
-        let t1 = Instant::now();
-        let m = Matrix::from_fn(sensors, t + step, |c, tt| stream.value(tt, c));
-        let svd = Svd::compute(&m);
-        let total: f64 = svd.singular_values.iter().map(|s| s * s).sum();
-        let sig_batch = SvdSignature {
-            basis: svd.u.submatrix(0, sensors, 0, 5),
-            shares: svd.singular_values.iter().take(5).map(|s| s * s / total).collect(),
-        };
-        batch_time += t1.elapsed();
+        let (sig_batch, dt_batch) = crate::timed("bench.e18.batch_svd", || {
+            let m = Matrix::from_fn(sensors, t + step, |c, tt| stream.value(tt, c));
+            let svd = Svd::compute(&m);
+            let total: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+            SvdSignature {
+                basis: svd.u.submatrix(0, sensors, 0, 5),
+                shares: svd.singular_values.iter().take(5).map(|s| s * s / total).collect(),
+            }
+        });
+        batch_time += dt_batch;
 
         agreement += sig_inc.similarity(&sig_batch);
         windows += 1;

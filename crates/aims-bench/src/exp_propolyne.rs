@@ -1,8 +1,6 @@
 //! Experiments E7–E12: ProPolyne, the off-line query engine (paper §3.3,
 //! §3.3.1).
 
-use std::time::Instant;
-
 use aims_dsp::dwt::dwt_full;
 use aims_dsp::filters::FilterKind;
 use aims_dsp::poly::Polynomial;
@@ -31,17 +29,14 @@ pub fn e7_lazy_transform() {
         let n = 1usize << log_n;
         let (a, b) = (n / 7, n - n / 5);
 
-        let t0 = Instant::now();
-        let lazy = lazy_transform(n, a, b, &poly, &filter);
-        let lazy_time = t0.elapsed();
+        let (lazy, lazy_time) =
+            crate::timed("bench.e7.lazy_transform", || lazy_transform(n, a, b, &poly, &filter));
 
         let dense_time = if log_n <= 18 {
-            let q: Vec<f64> = (0..n)
-                .map(|i| if i >= a && i <= b { poly.eval(i as f64) } else { 0.0 })
-                .collect();
-            let t1 = Instant::now();
-            let _ = dwt_full(&q, &filter);
-            format!("{:>10.2?}", t1.elapsed())
+            let q: Vec<f64> =
+                (0..n).map(|i| if i >= a && i <= b { poly.eval(i as f64) } else { 0.0 }).collect();
+            let (_, dense) = crate::timed("bench.e7.dense_transform", || dwt_full(&q, &filter));
+            format!("{:>10.2?}", dense)
         } else {
             "      (skip)".into()
         };
@@ -97,13 +92,8 @@ pub fn e8_exact_aggregates() {
         let vp1 = space.value_poly(1);
         let sum_scan = rq(RangeSumQuery::sum_poly(ranges.to_vec(), 0, vp0.clone()));
         let sq_scan = rq(RangeSumQuery::sum_poly(ranges.to_vec(), 0, vp0.mul(&vp0)));
-        let cross_scan = rq(RangeSumQuery::sum_product(
-            ranges.to_vec(),
-            0,
-            vp0.clone(),
-            1,
-            vp1.clone(),
-        ));
+        let cross_scan =
+            rq(RangeSumQuery::sum_product(ranges.to_vec(), 0, vp0.clone(), 1, vp1.clone()));
         let sum1_scan = rq(RangeSumQuery::sum_poly(ranges.to_vec(), 1, vp1));
 
         let avg_scan = sum_scan / count_scan;
@@ -149,10 +139,7 @@ pub fn e9_progressive_accuracy() {
     }
 
     println!("\n-- filter ablation: 1-D query nnz at N=65536 (moment condition) --");
-    println!(
-        "{:>8} {:>10} {:>18} {:>18}",
-        "filter", "moments", "nnz, degree 1", "nnz, degree 2"
-    );
+    println!("{:>8} {:>10} {:>18} {:>18}", "filter", "moments", "nnz, degree 1", "nnz, degree 2");
     let n = 1 << 16;
     for kind in FilterKind::ALL {
         let f = kind.filter();
@@ -193,10 +180,7 @@ pub fn e10_data_vs_query_approximation() {
         .collect();
     let budget = 96;
 
-    println!(
-        "{:>16} {:>14} {:>14} {:>10}",
-        "dataset", "data-approx", "query-approx", "winner"
-    );
+    println!("{:>16} {:>14} {:>14} {:>10}", "dataset", "data-approx", "query-approx", "winner");
     let mut data_errs = Vec::new();
     let mut query_errs = Vec::new();
     for (name, cube) in &datasets {
@@ -230,10 +214,7 @@ pub fn e10_data_vs_query_approximation() {
 pub fn e11_hybrid() {
     crate::header("E11", "hybrid standard+wavelet basis vs pure plans (§3.3.1)");
     // Sensor relation: (sensor_id, time, value) with 4 sensors.
-    let space = AttributeSpace::new(
-        vec![(0.0, 4.0), (0.0, 512.0), (0.0, 64.0)],
-        vec![4, 512, 64],
-    );
+    let space = AttributeSpace::new(vec![(0.0, 4.0), (0.0, 512.0), (0.0, 64.0)], vec![4, 512, 64]);
     let tuples: Vec<Vec<f64>> = (0..6000)
         .map(|i| {
             let sensor = (i % 4) as f64 + 0.5;
@@ -269,14 +250,10 @@ pub fn e11_hybrid() {
         let rows = tuples
             .iter()
             .filter(|t| {
-                space.bin(0, t[0]) == sensor
-                    && (trange.0..=trange.1).contains(&space.bin(1, t[1]))
+                space.bin(0, t[0]) == sensor && (trange.0..=trange.1).contains(&space.bin(1, t[1]))
             })
             .count();
-        println!(
-            "{:>26} {:>16} {:>16} {:>14}",
-            label, pure_cost, ans.coefficients_touched, rows
-        );
+        println!("{:>26} {:>16} {:>16} {:>14}", label, pure_cost, ans.coefficients_touched, rows);
         let scan = q.eval_scan(&cube);
         assert!((ans.value - scan).abs() < 1e-5 * scan.abs().max(1.0), "hybrid wrong");
     }
@@ -292,10 +269,7 @@ pub fn e12_batch_sharing() {
     let engine = Propolyne::new(cube.transform(&FilterKind::Db4.filter()));
     let base = RangeSumQuery::count(vec![(0, 127), (16, 111)]);
 
-    println!(
-        "{:>10} {:>16} {:>16} {:>12}",
-        "buckets", "independent", "shared", "sharing"
-    );
+    println!("{:>10} {:>16} {:>16} {:>12}", "buckets", "independent", "shared", "sharing");
     for buckets in [2usize, 4, 8, 16, 32] {
         let queries = drill_down_queries(&base, 0, buckets);
         let batch = evaluate_batch(&engine, &queries);

@@ -89,10 +89,7 @@ pub fn e5_tensor_allocation() {
         queries.push(q);
     }
 
-    println!(
-        "{:>14} {:>14} {:>18}",
-        "allocation", "blocks/query", "needed items/block"
-    );
+    println!("{:>14} {:>14} {:>18}", "allocation", "blocks/query", "needed items/block");
     for (name, alloc) in [
         ("tensor tiling", &tensor as &dyn Allocation),
         ("row-major", &rowmajor as &dyn Allocation),
@@ -154,11 +151,8 @@ pub fn e6_progressive_retrieval() {
 
     println!("{:>12} {:>14} {:>22}", "order", "error AUC", "err after 25% blocks");
     let mut aucs = Vec::new();
-    for order in [
-        RetrievalOrder::Importance,
-        RetrievalOrder::Sequential,
-        RetrievalOrder::Random(3),
-    ] {
+    for order in [RetrievalOrder::Importance, RetrievalOrder::Sequential, RetrievalOrder::Random(3)]
+    {
         let curve = progressive_curve(&query, &coeffs, &alloc, order);
         let quarter = curve[curve.len() / 4].abs_error;
         let auc = error_auc(&curve);

@@ -1,7 +1,5 @@
 //! Experiment E19: the integrated AIMS pipeline (paper Fig. 1, §4).
 
-use std::time::Instant;
-
 use aims::{AimsConfig, AimsSystem};
 use aims_sensors::asl::AslVocabulary;
 use aims_sensors::glove::CyberGloveRig;
@@ -19,9 +17,8 @@ pub fn e19_end_to_end() {
     let session = mixed_activity_session(55, 20.0);
     let raw = session.device_size_bytes();
     let mut system = AimsSystem::new(AimsConfig::default());
-    let t0 = Instant::now();
-    let report = system.ingest(&session);
-    let ingest_time = t0.elapsed();
+    let telemetry = crate::TelemetryReport::start();
+    let (report, ingest_time) = crate::timed("bench.e19.ingest", || system.ingest(&session));
     println!(
         "ingest: {} frames x {} ch in {ingest_time:.2?} ({:.1} Mframe-ch/s)",
         report.frames,
@@ -37,18 +34,17 @@ pub fn e19_end_to_end() {
     );
 
     // Offline queries over blocked storage.
-    let t1 = Instant::now();
-    let mut checks = 0usize;
-    for c in (0..system.channels()).step_by(4) {
-        let avg = system.channel_average(c, 10.0, 50.0).unwrap();
-        assert!(avg.is_finite());
-        checks += 1;
-    }
+    let (checks, offline_time) = crate::timed("bench.e19.offline_queries", || {
+        let mut checks = 0usize;
+        for c in (0..system.channels()).step_by(4) {
+            let avg = system.channel_average(c, 10.0, 50.0).unwrap();
+            assert!(avg.is_finite());
+            checks += 1;
+        }
+        checks
+    });
     let reads = system.total_block_reads();
-    println!(
-        "offline: {checks} channel averages in {:.2?}, {reads} block reads total",
-        t1.elapsed()
-    );
+    println!("offline: {checks} channel averages in {offline_time:.2?}, {reads} block reads total");
 
     // Online recognition on a fresh stream with the same rig.
     let vocab = AslVocabulary::synthetic(8, 29, CyberGloveRig::default());
@@ -57,16 +53,12 @@ pub fn e19_end_to_end() {
         .flat_map(|l| (0..2).map(move |_| l))
         .map(|l| (l, vocab.instance(l, &mut noise).stream))
         .collect();
-    let mut recognizer = AimsSystem::online_recognizer(
-        &templates,
-        vocab.rig.spec(),
-        IsolationConfig::default(),
-    );
+    let mut recognizer =
+        AimsSystem::online_recognizer(&templates, vocab.rig.spec(), IsolationConfig::default());
     let labels: Vec<usize> = (0..12).map(|i| (i * 3 + 1) % vocab.len()).collect();
     let (stream, truth) = vocab.sentence(&labels, &mut noise);
-    let t2 = Instant::now();
-    let detections = recognizer.process_stream(&stream);
-    let online_time = t2.elapsed();
+    let (detections, online_time) =
+        crate::timed("bench.e19.online", || recognizer.process_stream(&stream));
     let truth_tuples: Vec<(usize, usize, usize)> =
         truth.iter().map(|t| (t.label, t.start, t.end)).collect();
     let rep = evaluate_isolation(&detections, &truth_tuples, 0.3);
@@ -79,4 +71,5 @@ pub fn e19_end_to_end() {
     );
     println!("\nshape check: one system instance serves the full Fig. 1 data path with");
     println!("bounded memory and accounted I/O at far-beyond-real-time throughput.");
+    telemetry.finish("E19 end-to-end");
 }

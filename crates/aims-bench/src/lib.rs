@@ -18,6 +18,10 @@ pub mod exp_storage;
 pub mod exp_system;
 pub mod workloads;
 
+use std::time::{Duration, Instant};
+
+use aims_telemetry::{global, Snapshot};
+
 /// Prints a section header for one experiment.
 pub fn header(id: &str, claim: &str) {
     println!("\n{}", "=".repeat(78));
@@ -28,4 +32,49 @@ pub fn header(id: &str, claim: &str) {
 /// Formats a ratio as `x.xx×`.
 pub fn times(x: f64) -> String {
     format!("{x:.2}x")
+}
+
+/// Times `f` under a telemetry span, so the elapsed time lands in the
+/// `<name>.ns` histogram of the global registry (with parent/child
+/// nesting) *and* is returned for inline experiment output. This replaces
+/// the hand-rolled `Instant::now()` pairs the experiment modules used to
+/// carry.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let result = {
+        let _span = aims_telemetry::span!(name);
+        f()
+    };
+    (result, start.elapsed())
+}
+
+/// Scoped view of what an experiment recorded into the global telemetry
+/// registry: construct with [`TelemetryReport::start`] before the work,
+/// call [`TelemetryReport::finish`] after it to print the counters that
+/// moved plus every histogram/gauge (cumulative), as an aligned table.
+pub struct TelemetryReport {
+    before: Snapshot,
+}
+
+impl TelemetryReport {
+    /// Marks the starting point.
+    pub fn start() -> Self {
+        TelemetryReport { before: global().snapshot() }
+    }
+
+    /// Snapshot of the activity since [`TelemetryReport::start`].
+    pub fn delta(&self) -> Snapshot {
+        global().snapshot().delta_since(&self.before)
+    }
+
+    /// Prints the delta as a table under a `-- telemetry: <title> --`
+    /// banner.
+    pub fn finish(self, title: &str) {
+        let delta = self.delta();
+        if delta.is_empty() {
+            return;
+        }
+        println!("\n-- telemetry: {title} --");
+        print!("{}", delta.render_table());
+    }
 }

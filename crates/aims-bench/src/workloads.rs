@@ -72,9 +72,7 @@ pub fn sensor_trace_cube(n: usize, seed: u64) -> DataCube {
     let mut noise = NoiseSource::seeded(seed);
     let session = rig.record_session(60.0, 0.6, &mut noise);
     let chan = session.channel(5);
-    let (lo, hi) = chan
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let (lo, hi) = chan.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
     let mut cube = DataCube::zeros(&[n, n]);
     for (t, &x) in chan.iter().enumerate() {
         let ti = (t * n / chan.len()).min(n - 1);

@@ -41,9 +41,7 @@ impl CostFunction {
                     }
                 })
                 .sum(),
-            CostFunction::ThresholdCount(t) => {
-                coeffs.iter().filter(|x| x.abs() > t).count() as f64
-            }
+            CostFunction::ThresholdCount(t) => coeffs.iter().filter(|x| x.abs() > t).count() as f64,
             CostFunction::L1Norm => coeffs.iter().map(|x| x.abs()).sum(),
             CostFunction::LogEnergy => coeffs.iter().map(|&x| (x * x + 1e-300).ln()).sum(),
         }
@@ -80,12 +78,10 @@ impl WaveletPacketTree {
     /// # Panics
     /// If the length is not a power of two, or `2^depth` exceeds the length.
     pub fn decompose(signal: &[f64], filter: &WaveletFilter, depth: usize) -> Self {
+        let _span = aims_telemetry::span!("dsp.dwpt.decompose");
         let n = signal.len();
         assert!(is_power_of_two(n), "DWPT requires power-of-two length, got {n}");
-        assert!(
-            (1usize << depth) <= n,
-            "depth {depth} too deep for signal of length {n}"
-        );
+        assert!((1usize << depth) <= n, "depth {depth} too deep for signal of length {n}");
         let mut nodes: Vec<Vec<Vec<f64>>> = vec![vec![signal.to_vec()]];
         for level in 0..depth {
             let mut next = Vec::with_capacity(nodes[level].len() * 2);
@@ -120,7 +116,8 @@ impl WaveletPacketTree {
     /// The basis consisting of all leaves at the maximum depth (the full
     /// DWPT "frequency-ordered" basis).
     pub fn leaf_basis(&self, cost: CostFunction) -> PacketBasis {
-        let nodes: Vec<NodeId> = (0..self.nodes[self.depth].len()).map(|i| (self.depth, i)).collect();
+        let nodes: Vec<NodeId> =
+            (0..self.nodes[self.depth].len()).map(|i| (self.depth, i)).collect();
         let total = nodes.iter().map(|&id| cost.cost(self.node(id))).sum();
         PacketBasis { nodes, cost: total }
     }
@@ -143,15 +140,13 @@ impl WaveletPacketTree {
     /// `table[level][index]`. Suitable for accumulation across many trees
     /// before a joint [`best_basis_from_costs`] search.
     pub fn node_costs(&self, cost: CostFunction) -> Vec<Vec<f64>> {
-        self.nodes
-            .iter()
-            .map(|lvl| lvl.iter().map(|band| cost.cost(band)).collect())
-            .collect()
+        self.nodes.iter().map(|lvl| lvl.iter().map(|band| cost.cost(band)).collect()).collect()
     }
 
     /// Coifman–Wickerhauser best basis: the antichain minimizing the total
     /// additive cost, found by a bottom-up dynamic program.
     pub fn best_basis(&self, cost: CostFunction) -> PacketBasis {
+        let _span = aims_telemetry::span!("dsp.dwpt.best_basis");
         best_basis_from_costs(self.depth, &self.node_costs(cost))
     }
 
@@ -167,11 +162,8 @@ impl WaveletPacketTree {
     /// If the coefficient count doesn't match the basis.
     pub fn reconstruct(&self, basis: &PacketBasis, coeffs: &[f64]) -> Vec<f64> {
         // Place each band, then synthesize upward level by level.
-        let mut bands: Vec<Vec<Option<Vec<f64>>>> = self
-            .nodes
-            .iter()
-            .map(|lvl| vec![None; lvl.len()])
-            .collect();
+        let mut bands: Vec<Vec<Option<Vec<f64>>>> =
+            self.nodes.iter().map(|lvl| vec![None; lvl.len()]).collect();
         let mut offset = 0;
         for &(level, index) in &basis.nodes {
             let len = self.nodes[level][index].len();
@@ -390,7 +382,7 @@ mod tests {
         // Entropy of a single unit spike is 0 (·ln 1); of spread mass it's
         // positive.
         let concentrated = CostFunction::ShannonEntropy.cost(&[1.0, 0.0]);
-        let spread = CostFunction::ShannonEntropy.cost(&[0.7071, 0.7071]);
+        let spread = CostFunction::ShannonEntropy.cost(&[std::f64::consts::FRAC_1_SQRT_2; 2]);
         assert!(concentrated < spread);
     }
 }

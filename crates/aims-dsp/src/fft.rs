@@ -70,10 +70,7 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -135,6 +132,7 @@ pub fn fft_pow2(buf: &mut [Complex], inverse: bool) {
 /// FFT of arbitrary length: radix-2 when possible, otherwise Bluestein's
 /// chirp-z transform (which reduces to three power-of-two FFTs).
 pub fn fft(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let _span = aims_telemetry::span!("dsp.fft.transform");
     let n = input.len();
     if n == 0 {
         return Vec::new();
@@ -255,7 +253,12 @@ mod tests {
         let n = 64;
         let freq = 5;
         let x: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos(), 0.0))
+            .map(|i| {
+                Complex::new(
+                    (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos(),
+                    0.0,
+                )
+            })
             .collect();
         let y = fft(&x, false);
         let mags: Vec<f64> = y.iter().map(|c| c.abs()).collect();
@@ -271,9 +274,8 @@ mod tests {
 
     #[test]
     fn roundtrip_pow2() {
-        let x: Vec<Complex> = (0..32)
-            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
         let y = fft(&x, false);
         let z = fft(&y, true);
         for (a, b) in x.iter().zip(&z) {

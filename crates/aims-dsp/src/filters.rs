@@ -33,7 +33,8 @@ pub enum FilterKind {
 
 impl FilterKind {
     /// All stock filters, shortest first.
-    pub const ALL: [FilterKind; 4] = [FilterKind::Haar, FilterKind::Db4, FilterKind::Db6, FilterKind::Db8];
+    pub const ALL: [FilterKind; 4] =
+        [FilterKind::Haar, FilterKind::Db4, FilterKind::Db6, FilterKind::Db8];
 
     /// Materializes the filter coefficients.
     pub fn filter(self) -> WaveletFilter {
@@ -151,10 +152,7 @@ impl WaveletFilter {
     /// Discrete moment `Σₘ c[m]·mᵗ` of either channel.
     pub fn moment(&self, highpass: bool, t: usize) -> f64 {
         let taps = if highpass { &self.highpass } else { &self.lowpass };
-        taps.iter()
-            .enumerate()
-            .map(|(m, &c)| c * (m as f64).powi(t as i32))
-            .sum()
+        taps.iter().enumerate().map(|(m, &c)| c * (m as f64).powi(t as i32)).sum()
     }
 
     /// Symbolically filters a polynomial sequence and downsamples: returns
@@ -228,11 +226,7 @@ mod tests {
             for deg in 0..vm {
                 let p = Polynomial::monomial(deg);
                 let q = f.filter_polynomial(true, &p);
-                assert!(
-                    q.is_negligible(1e-8),
-                    "{}: degree {deg} not annihilated: {q:?}",
-                    f.name()
-                );
+                assert!(q.is_negligible(1e-8), "{}: degree {deg} not annihilated: {q:?}", f.name());
             }
             // One degree higher must NOT vanish (sharpness of the moment
             // condition — this is why Haar fails on linear measures).
@@ -248,12 +242,8 @@ mod tests {
         let p = Polynomial::from_coeffs(vec![1.0, -0.5, 0.25]);
         let q = f.filter_polynomial(false, &p);
         for k in 0..8 {
-            let direct: f64 = f
-                .lowpass()
-                .iter()
-                .enumerate()
-                .map(|(m, &c)| c * p.eval((2 * k + m) as f64))
-                .sum();
+            let direct: f64 =
+                f.lowpass().iter().enumerate().map(|(m, &c)| c * p.eval((2 * k + m) as f64)).sum();
             assert!((q.eval(k as f64) - direct).abs() < 1e-9, "k={k}");
         }
     }

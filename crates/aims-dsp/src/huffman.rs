@@ -54,12 +54,8 @@ impl PartialOrd for HeapNode {
 /// symbol gets length 1.
 pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     let mut lengths = vec![0u8; freqs.len()];
-    let used: Vec<usize> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(i, _)| i)
-        .collect();
+    let used: Vec<usize> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
     match used.len() {
         0 => return lengths,
         1 => {
@@ -166,10 +162,7 @@ pub fn decode(encoded: &HuffmanEncoded) -> Vec<u16> {
     let mut out = Vec::with_capacity(encoded.len);
     let mut code: u32 = 0;
     let mut len: u8 = 0;
-    let mut bit_iter = encoded
-        .bits
-        .iter()
-        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1));
+    let mut bit_iter = encoded.bits.iter().flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1));
     while out.len() < encoded.len {
         let bit = bit_iter.next().expect("truncated Huffman bitstream");
         code = (code << 1) | bit as u32;
@@ -259,11 +252,7 @@ mod tests {
     fn code_lengths_satisfy_kraft() {
         let freqs = vec![50u64, 30, 10, 5, 3, 1, 1, 0];
         let lengths = code_lengths(&freqs);
-        let kraft: f64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 2f64.powi(-(l as i32)))
-            .sum();
+        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
         assert!((kraft - 1.0).abs() < 1e-12, "Kraft sum {kraft}");
         assert_eq!(lengths[7], 0);
     }
@@ -273,11 +262,7 @@ mod tests {
         let freqs = vec![400u64, 200, 150, 100, 80, 40, 20, 10];
         let lengths = code_lengths(&freqs);
         let total: u64 = freqs.iter().sum();
-        let avg: f64 = freqs
-            .iter()
-            .zip(&lengths)
-            .map(|(&f, &l)| f as f64 * l as f64)
-            .sum::<f64>()
+        let avg: f64 = freqs.iter().zip(&lengths).map(|(&f, &l)| f as f64 * l as f64).sum::<f64>()
             / total as f64;
         let h = entropy_bits(&freqs);
         assert!(avg >= h - 1e-9, "avg {avg} < entropy {h}");

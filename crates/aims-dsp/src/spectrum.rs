@@ -45,11 +45,7 @@ pub fn periodogram(signal: &[f64], sample_rate: f64) -> Periodogram {
     let n = signal.len();
     let mean = signal.iter().sum::<f64>() / n as f64;
     let window = hann_window(n);
-    let windowed: Vec<f64> = signal
-        .iter()
-        .zip(&window)
-        .map(|(&x, &w)| (x - mean) * w)
-        .collect();
+    let windowed: Vec<f64> = signal.iter().zip(&window).map(|(&x, &w)| (x - mean) * w).collect();
     let spec = fft_real(&windowed);
     let half = n / 2 + 1;
     let power: Vec<f64> = spec[..half].iter().map(|c| c.norm_sq() / n as f64).collect();
@@ -275,22 +271,15 @@ mod tests {
     use super::*;
 
     fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin())
-            .collect()
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin()).collect()
     }
 
     #[test]
     fn periodogram_peak_at_tone_frequency() {
         let signal = tone(10.0, 128.0, 512);
         let p = periodogram(&signal, 128.0);
-        let peak_bin = p
-            .power
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_bin =
+            p.power.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!((p.freqs[peak_bin] - 10.0).abs() < 0.5, "peak at {}", p.freqs[peak_bin]);
     }
 

@@ -20,9 +20,7 @@ fn filter_strategy() -> impl Strategy<Value = FilterKind> {
 }
 
 fn pow2_signal() -> impl Strategy<Value = Vec<f64>> {
-    (1u32..=9).prop_flat_map(|log_n| {
-        prop::collection::vec(-100.0_f64..100.0, 1 << log_n)
-    })
+    (1u32..=9).prop_flat_map(|log_n| prop::collection::vec(-100.0_f64..100.0, 1 << log_n))
 }
 
 proptest! {

@@ -68,11 +68,7 @@ impl Classifier for GaussianNaiveBayes {
                 *v = (*v / count[c].max(1) as f64).max(VAR_FLOOR);
             }
         }
-        GaussianNaiveBayes {
-            prior_pos: count[1] as f64 / train.len() as f64,
-            mean,
-            var,
-        }
+        GaussianNaiveBayes { prior_pos: count[1] as f64 / train.len() as f64, mean, var }
     }
 
     fn predict(&self, features: &[f64]) -> Label {

@@ -22,11 +22,7 @@ impl CvReport {
     /// Standard deviation of fold accuracies.
     pub fn std_accuracy(&self) -> f64 {
         let m = self.mean_accuracy();
-        (self
-            .fold_accuracies
-            .iter()
-            .map(|a| (a - m) * (a - m))
-            .sum::<f64>()
+        (self.fold_accuracies.iter().map(|a| (a - m) * (a - m)).sum::<f64>()
             / self.fold_accuracies.len() as f64)
             .sqrt()
     }
@@ -37,13 +33,13 @@ impl CvReport {
 /// # Panics
 /// If `k` is invalid for the dataset size.
 pub fn cross_validate<C: Classifier>(dataset: &Dataset, k: usize, seed: u64) -> CvReport {
+    let _span = aims_telemetry::span!("learn.cv.cross_validate");
+    aims_telemetry::global().counter("learn.cv.folds").add(k as u64);
     let folds = dataset.folds(k, seed);
     let mut fold_accuracies = Vec::with_capacity(k);
     let mut pooled = ConfusionMatrix::default();
     for test_idx in &folds {
-        let train_idx: Vec<usize> = (0..dataset.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+        let train_idx: Vec<usize> = (0..dataset.len()).filter(|i| !test_idx.contains(i)).collect();
         let train = dataset.subset(&train_idx);
         let test = dataset.subset(test_idx);
         let model = C::fit(&train);
@@ -73,9 +69,7 @@ mod tests {
                     vec![c + (i as f64 * 0.7).sin(), c + (i as f64 * 1.3).cos()]
                 })
                 .collect(),
-            (0..n)
-                .map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative })
-                .collect(),
+            (0..n).map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative }).collect(),
         )
     }
 
@@ -86,10 +80,8 @@ mod tests {
         assert_eq!(report.fold_accuracies.len(), 5);
         assert!(report.mean_accuracy() > 0.97, "{}", report.mean_accuracy());
         // Pooled confusion covers every example exactly once.
-        let total = report.confusion.tp
-            + report.confusion.fp
-            + report.confusion.fn_
-            + report.confusion.tn;
+        let total =
+            report.confusion.tp + report.confusion.fp + report.confusion.fn_ + report.confusion.tn;
         assert_eq!(total, 120);
     }
 

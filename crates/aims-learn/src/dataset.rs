@@ -167,10 +167,7 @@ impl Standardizer {
     /// Applies the transform to one feature vector.
     pub fn apply(&self, f: &[f64]) -> Vec<f64> {
         assert_eq!(f.len(), self.mean.len(), "feature width mismatch");
-        f.iter()
-            .zip(self.mean.iter().zip(&self.std))
-            .map(|(&x, (&m, &s))| (x - m) / s)
-            .collect()
+        f.iter().zip(self.mean.iter().zip(&self.std)).map(|(&x, (&m, &s))| (x - m) / s).collect()
     }
 }
 

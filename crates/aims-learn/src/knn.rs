@@ -51,11 +51,7 @@ impl Classifier for KNearestNeighbors {
             })
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let pos = dists
-            .iter()
-            .take(self.k)
-            .filter(|(_, l)| *l == Label::Positive)
-            .count();
+        let pos = dists.iter().take(self.k).filter(|(_, l)| *l == Label::Positive).count();
         if pos * 2 > self.k.min(dists.len()) {
             Label::Positive
         } else if pos * 2 < self.k.min(dists.len()) {
@@ -116,10 +112,7 @@ mod tests {
 
     #[test]
     fn tie_broken_by_nearest() {
-        let ds = Dataset::new(
-            vec![vec![0.0], vec![2.0]],
-            vec![Label::Negative, Label::Positive],
-        );
+        let ds = Dataset::new(vec![vec![0.0], vec![2.0]], vec![Label::Negative, Label::Positive]);
         let knn = KNearestNeighbors::fit_with(&ds, 2);
         assert_eq!(knn.predict(&[0.4]), Label::Negative);
         assert_eq!(knn.predict(&[1.6]), Label::Positive);

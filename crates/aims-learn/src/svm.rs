@@ -45,6 +45,7 @@ impl LinearSvm {
     /// # Panics
     /// If the training set is empty.
     pub fn fit_with(train: &Dataset, config: SvmConfig) -> Self {
+        let _span = aims_telemetry::span!("learn.svm.fit");
         assert!(!train.is_empty(), "cannot train on an empty dataset");
         let (std_ds, scaler) = train.standardized();
         let n = std_ds.len();

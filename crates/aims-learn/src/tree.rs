@@ -57,9 +57,7 @@ fn best_split(ds: &Dataset, indices: &[usize]) -> Option<(usize, f64, f64)> {
     for feature in 0..d {
         let mut order: Vec<usize> = indices.to_vec();
         order.sort_by(|&a, &b| {
-            ds.features[a][feature]
-                .partial_cmp(&ds.features[b][feature])
-                .unwrap()
+            ds.features[a][feature].partial_cmp(&ds.features[b][feature]).unwrap()
         });
         let pos_total = order.iter().filter(|&&i| ds.labels[i] == Label::Positive).count();
         let mut pos_left = 0usize;
@@ -88,16 +86,18 @@ fn best_split(ds: &Dataset, indices: &[usize]) -> Option<(usize, f64, f64)> {
 fn grow(ds: &Dataset, indices: &[usize], depth: usize, config: &TreeConfig) -> Node {
     let labels: Vec<Label> = indices.iter().map(|&i| ds.labels[i]).collect();
     let pos = labels.iter().filter(|&&l| l == Label::Positive).count();
-    if pos == 0 || pos == labels.len() || depth >= config.max_depth || labels.len() < config.min_split
+    if pos == 0
+        || pos == labels.len()
+        || depth >= config.max_depth
+        || labels.len() < config.min_split
     {
         return Node::Leaf(majority(&labels));
     }
     match best_split(ds, indices) {
         None => Node::Leaf(majority(&labels)),
         Some((feature, threshold, _)) => {
-            let (left, right): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| ds.features[i][feature] <= threshold);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| ds.features[i][feature] <= threshold);
             if left.is_empty() || right.is_empty() {
                 return Node::Leaf(majority(&labels));
             }
@@ -161,9 +161,7 @@ mod tests {
     fn axis_aligned_split_learned_exactly() {
         let ds = Dataset::new(
             (0..40).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect(),
-            (0..40)
-                .map(|i| if i < 20 { Label::Negative } else { Label::Positive })
-                .collect(),
+            (0..40).map(|i| if i < 20 { Label::Negative } else { Label::Positive }).collect(),
         );
         let tree = DecisionTree::fit(&ds);
         assert_eq!(accuracy(&tree.predict_all(&ds.features), &ds.labels), 1.0);
@@ -191,9 +189,7 @@ mod tests {
     fn depth_limit_is_respected() {
         let ds = Dataset::new(
             (0..64).map(|i| vec![i as f64]).collect(),
-            (0..64)
-                .map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative })
-                .collect(),
+            (0..64).map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative }).collect(),
         );
         let tree = DecisionTree::fit_with(&ds, TreeConfig { max_depth: 3, min_split: 2 });
         assert!(tree.depth() <= 3);
@@ -201,10 +197,7 @@ mod tests {
 
     #[test]
     fn pure_node_is_a_leaf() {
-        let ds = Dataset::new(
-            vec![vec![1.0], vec![2.0], vec![3.0]],
-            vec![Label::Positive; 3],
-        );
+        let ds = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![Label::Positive; 3]);
         let tree = DecisionTree::fit(&ds);
         assert_eq!(tree.depth(), 0);
         assert_eq!(tree.predict(&[99.0]), Label::Positive);

@@ -21,9 +21,8 @@ fn blobs(n: usize, gap: f64, seed: u64) -> Dataset {
             vec![c + unit(), c * 0.5 + unit()]
         })
         .collect();
-    let labels = (0..n)
-        .map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative })
-        .collect();
+    let labels =
+        (0..n).map(|i| if i % 2 == 0 { Label::Positive } else { Label::Negative }).collect();
     Dataset::new(features, labels)
 }
 

@@ -78,9 +78,8 @@ impl IncrementalSvd {
         let k = self.sigma.len();
 
         // Project onto the current subspace and split off the residual.
-        let p: Vec<f64> = (0..k)
-            .map(|j| (0..self.rows).map(|i| self.u[(i, j)] * c[i]).sum())
-            .collect();
+        let p: Vec<f64> =
+            (0..k).map(|j| (0..self.rows).map(|i| self.u[(i, j)] * c[i]).sum()).collect();
         let mut r = c.clone();
         for (j, &pj) in p.iter().enumerate() {
             for i in 0..self.rows {
@@ -148,11 +147,7 @@ impl IncrementalSvd {
         let mut new_sigma = core_svd.singular_values.clone();
 
         // Truncate to max_rank and drop numerically-zero directions.
-        let keep = new_sigma
-            .iter()
-            .take(self.max_rank)
-            .filter(|&&s| s > 1e-12)
-            .count();
+        let keep = new_sigma.iter().take(self.max_rank).filter(|&&s| s > 1e-12).count();
         new_u = new_u.submatrix(0, self.rows, 0, keep);
         new_sigma.truncate(keep);
 
@@ -230,12 +225,7 @@ mod tests {
 
         let batch = Svd::compute(&a);
         assert_eq!(inc.rank(), 5);
-        for (i, (&si, sb)) in inc
-            .singular_values()
-            .iter()
-            .zip(&batch.singular_values)
-            .enumerate()
-        {
+        for (i, (&si, sb)) in inc.singular_values().iter().zip(&batch.singular_values).enumerate() {
             assert!(crate::approx_eq(si, *sb, 1e-8), "σ{i}: {si} vs {sb}");
         }
         // Left subspaces agree.

@@ -297,11 +297,7 @@ impl Matrix {
     /// `true` when `‖self − other‖_max ≤ tol`.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Checks that every column has unit norm and distinct columns are

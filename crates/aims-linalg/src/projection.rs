@@ -143,10 +143,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            violations * 20 <= pairs,
-            "{violations}/{pairs} pairs outside the distortion band"
-        );
+        assert!(violations * 20 <= pairs, "{violations}/{pairs} pairs outside the distortion band");
     }
 
     #[test]
@@ -178,8 +175,12 @@ mod tests {
 
     #[test]
     fn suggested_dim_scales() {
-        assert!(RandomProjection::suggested_dim(100, 0.5) < RandomProjection::suggested_dim(100, 0.1));
-        assert!(RandomProjection::suggested_dim(10, 0.3) < RandomProjection::suggested_dim(10_000, 0.3));
+        assert!(
+            RandomProjection::suggested_dim(100, 0.5) < RandomProjection::suggested_dim(100, 0.1)
+        );
+        assert!(
+            RandomProjection::suggested_dim(10, 0.3) < RandomProjection::suggested_dim(10_000, 0.3)
+        );
     }
 
     #[test]

@@ -114,11 +114,8 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_square_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, -1.0, 0.5],
-            vec![1.0, 3.0, -2.0],
-            vec![0.0, 1.0, 4.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![2.0, -1.0, 0.5], vec![1.0, 3.0, -2.0], vec![0.0, 1.0, 4.0]]);
         let qr = QrDecomposition::new(&a);
         assert!(qr.q.has_orthonormal_columns(1e-10));
         assert!(qr.reconstruct().approx_eq(&a, 1e-10));
@@ -132,7 +129,9 @@ mod tests {
 
     #[test]
     fn qr_tall_matrix() {
-        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 2)) as f64 + if i == j { 5.0 } else { 0.0 });
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            ((i + 1) * (j + 2)) as f64 + if i == j { 5.0 } else { 0.0 }
+        });
         let qr = QrDecomposition::new(&a);
         assert_eq!(qr.q.shape(), (6, 3));
         assert_eq!(qr.r.shape(), (3, 3));

@@ -104,12 +104,7 @@ mod tests {
     use super::*;
 
     fn samples() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-            vec![4.0, 8.0],
-        ])
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0], vec![4.0, 8.0]])
     }
 
     #[test]

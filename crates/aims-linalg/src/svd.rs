@@ -59,6 +59,7 @@ impl Svd {
     /// a wide input and swapping `U`/`V` back at the end), so the cost is
     /// `O(max(m,n) · min(m,n)² · sweeps)`.
     pub fn compute_with(a: &Matrix, opts: SvdOptions) -> Self {
+        let _span = aims_telemetry::span!("linalg.svd.compute");
         let (m, n) = a.shape();
         if m < n {
             let t = Self::compute_with(&a.transpose(), opts);
@@ -121,9 +122,8 @@ impl Svd {
         }
 
         // Extract singular values (column norms) and left vectors.
-        let mut sigma: Vec<f64> = (0..n)
-            .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
-            .collect();
+        let mut sigma: Vec<f64> =
+            (0..n).map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt()).collect();
 
         // Sort by descending singular value, permuting U's and V's columns.
         let mut order: Vec<usize> = (0..n).collect();
@@ -258,10 +258,7 @@ mod tests {
         for (m, n, seed) in [(8, 5, 1), (5, 8, 2), (6, 6, 3)] {
             let a = random_matrix(m, n, seed);
             let svd = Svd::compute(&a);
-            assert!(
-                svd.reconstruct().approx_eq(&a, 1e-9),
-                "reconstruction failed for {m}x{n}"
-            );
+            assert!(svd.reconstruct().approx_eq(&a, 1e-9), "reconstruction failed for {m}x{n}");
             assert!(svd.u.has_orthonormal_columns(1e-9));
             assert!(svd.v.has_orthonormal_columns(1e-9));
         }

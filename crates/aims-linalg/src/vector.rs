@@ -141,8 +141,7 @@ impl Vector {
 
     /// `true` when entries agree pairwise to within `tol`.
     pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
-        self.len() == other.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| (a - b).abs() <= tol)
+        self.len() == other.len() && self.0.iter().zip(&other.0).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

@@ -54,14 +54,11 @@ pub fn evaluate_batch(engine: &Propolyne, queries: &[RangeSumQuery]) -> BatchRes
     let coeffs = engine.cube().coeffs();
     let fetched: HashMap<usize, f64> = needed.iter().map(|&i| (i, coeffs[i])).collect();
 
-    let answers = prepared
-        .iter()
-        .map(|p| p.entries.iter().map(|&(i, w)| w * fetched[&i]).sum())
-        .collect();
+    let answers =
+        prepared.iter().map(|p| p.entries.iter().map(|&(i, w)| w * fetched[&i]).sum()).collect();
 
     BatchResult { answers, shared_fetches: needed.len(), independent_fetches: independent }
 }
-
 
 /// Which error measure a progressive batch run optimizes (§3.3.1: "for
 /// some applications it is important to minimize the standard deviation
@@ -128,9 +125,8 @@ pub fn progressive_batch(
             contribution.entry(i).or_default().push((qi, w * coeffs[i]));
         }
     }
-    let exact: Vec<f64> = prepared.iter().map(|p| {
-        p.entries.iter().map(|&(i, w)| w * coeffs[i]).sum()
-    }).collect();
+    let exact: Vec<f64> =
+        prepared.iter().map(|p| p.entries.iter().map(|&(i, w)| w * coeffs[i]).sum()).collect();
 
     // Fetch order for the chosen norm.
     let mut order: Vec<usize> = contribution.keys().copied().collect();
@@ -138,9 +134,8 @@ pub fn progressive_batch(
         BatchErrorNorm::L2Total => {
             // Static score: a coefficient's total squared contribution.
             order.sort_by(|&a, &b| {
-                let score = |i: usize| -> f64 {
-                    contribution[&i].iter().map(|&(_, c)| c * c).sum()
-                };
+                let score =
+                    |i: usize| -> f64 { contribution[&i].iter().map(|&(_, c)| c * c).sum() };
                 score(b).partial_cmp(&score(a)).unwrap().then(a.cmp(&b))
             });
         }
@@ -206,11 +201,7 @@ pub fn progressive_batch(
 ///
 /// # Panics
 /// If the bucket count doesn't divide the range length.
-pub fn drill_down_queries(
-    base: &RangeSumQuery,
-    dim: usize,
-    buckets: usize,
-) -> Vec<RangeSumQuery> {
+pub fn drill_down_queries(base: &RangeSumQuery, dim: usize, buckets: usize) -> Vec<RangeSumQuery> {
     assert!(dim < base.arity(), "dimension out of range");
     let (a, b) = base.ranges[dim];
     let len = b - a + 1;

@@ -296,10 +296,7 @@ mod tests {
     #[test]
     fn from_tuples_counts() {
         let s = space2();
-        let cube = DataCube::from_tuples(
-            &s,
-            vec![vec![1.0, 0.0], vec![1.2, 0.1], vec![9.0, -0.9]],
-        );
+        let cube = DataCube::from_tuples(&s, vec![vec![1.0, 0.0], vec![1.2, 0.1], vec![9.0, -0.9]]);
         assert_eq!(cube.total(), 3.0);
         assert_eq!(cube.at(&[s.bin(0, 1.0), s.bin(1, 0.0)]), 2.0);
         assert_eq!(cube.at(&[7, 0]), 1.0);

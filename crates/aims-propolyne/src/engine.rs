@@ -13,6 +13,8 @@
 
 use std::collections::HashMap;
 
+use aims_telemetry::{global, span};
+
 use crate::cube::WaveletCube;
 use crate::lazy::lazy_transform;
 use crate::query::RangeSumQuery;
@@ -121,6 +123,7 @@ impl Propolyne {
     /// # Panics
     /// If the query does not validate against the cube.
     pub fn prepare(&self, query: &RangeSumQuery) -> PreparedQuery {
+        let _span = span!("propolyne.query.prepare");
         query.validate(self.cube.dims());
         let dims = self.cube.dims();
         let filter = self.cube.filter();
@@ -180,17 +183,25 @@ impl Propolyne {
         let mut entries: Vec<(usize, f64)> =
             combined.into_iter().filter(|(_, w)| *w != 0.0).collect();
         entries.sort_by_key(|&(i, _)| i);
+        let telemetry = global();
+        telemetry.counter("propolyne.query.prepared").inc();
+        telemetry.counter("propolyne.query.transform_work").add(work as u64);
+        telemetry.histogram("propolyne.query.nnz").record(entries.len() as u64);
         PreparedQuery { entries, transform_work: work }
     }
 
     /// Exact evaluation.
     pub fn evaluate(&self, query: &RangeSumQuery) -> f64 {
+        let _span = span!("propolyne.query.evaluate");
         let prepared = self.prepare(query);
         self.evaluate_prepared(&prepared)
     }
 
     /// Exact evaluation of a prepared query.
     pub fn evaluate_prepared(&self, prepared: &PreparedQuery) -> f64 {
+        global()
+            .counter("propolyne.query.coefficients_retrieved")
+            .add(prepared.entries.len() as u64);
         let coeffs = self.cube.coeffs();
         prepared.entries.iter().map(|&(i, w)| w * coeffs[i]).sum()
     }
@@ -199,6 +210,7 @@ impl Propolyne {
     /// magnitude, recording the estimate, true error and guaranteed bound
     /// after each.
     pub fn progressive(&self, query: &RangeSumQuery) -> ProgressiveEvaluation {
+        let _span = span!("propolyne.query.progressive");
         let prepared = self.prepare(query);
         let coeffs = self.cube.coeffs();
         let exact = self.evaluate_prepared(&prepared);
@@ -214,15 +226,20 @@ impl Propolyne {
 
         let mut estimate = 0.0;
         let mut steps = Vec::with_capacity(order.len());
+        let scale = exact.abs().max(1e-12);
+        let step_error = global().histogram_f64("propolyne.progressive.step_rel_error");
         for (i, &(idx, w)) in order.iter().enumerate() {
             estimate += w * coeffs[idx];
+            let abs_error = (estimate - exact).abs();
+            step_error.record_f64(abs_error / scale);
             steps.push(ProgressStep {
                 coefficients_used: i + 1,
                 estimate,
-                abs_error: (estimate - exact).abs(),
+                abs_error,
                 guaranteed_bound: (suffix_energy[i + 1] * self.data_energy).sqrt(),
             });
         }
+        global().counter("propolyne.progressive.steps").add(steps.len() as u64);
         ProgressiveEvaluation { exact, steps }
     }
 }
@@ -284,10 +301,7 @@ mod tests {
         ] {
             let got = engine.evaluate(&q);
             let expect = q.eval_scan(&cube);
-            assert!(
-                (got - expect).abs() < 1e-5 * expect.abs().max(1.0),
-                "{got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-5 * expect.abs().max(1.0), "{got} vs {expect}");
         }
     }
 
@@ -383,9 +397,8 @@ mod tests {
     #[test]
     fn tuple_loaded_cube_end_to_end() {
         let space = AttributeSpace::new(vec![(0.0, 100.0), (0.0, 1.0)], vec![64, 16]);
-        let tuples: Vec<Vec<f64>> = (0..500)
-            .map(|i| vec![(i * 7 % 100) as f64, ((i * 13) % 16) as f64 / 16.0])
-            .collect();
+        let tuples: Vec<Vec<f64>> =
+            (0..500).map(|i| vec![(i * 7 % 100) as f64, ((i * 13) % 16) as f64 / 16.0]).collect();
         let cube = DataCube::from_tuples(&space, tuples);
         let engine = Propolyne::new(cube.transform(&FilterKind::Db4.filter()));
         let q = RangeSumQuery::count(vec![space.bin_range(0, 20.0, 80.0), (0, 15)]);

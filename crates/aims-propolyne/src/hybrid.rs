@@ -112,9 +112,7 @@ impl HybridEngine {
     /// # Panics
     /// If the query does not match the full attribute space.
     pub fn evaluate(&self, query: &RangeSumQuery) -> HybridAnswer {
-        query.validate(
-            &(0..self.space.arity()).map(|k| self.space.dims[k]).collect::<Vec<_>>(),
-        );
+        query.validate(&(0..self.space.arity()).map(|k| self.space.dims[k]).collect::<Vec<_>>());
         // Project the query onto the wavelet dims.
         let sub_ranges: Vec<(usize, usize)> =
             self.wavelet_dims.iter().map(|&d| query.ranges[d]).collect();
@@ -175,9 +173,8 @@ pub fn choose_standard_dims(
             set.insert(space.bin(k, t[k]));
         }
     }
-    let mut chosen: Vec<usize> = (0..arity)
-        .filter(|&k| distinct[k].len() <= max_cardinality)
-        .collect();
+    let mut chosen: Vec<usize> =
+        (0..arity).filter(|&k| distinct[k].len() <= max_cardinality).collect();
     if chosen.len() == arity {
         // Keep the highest-cardinality dimension on the wavelet side.
         let keep = (0..arity).max_by_key(|&k| distinct[k].len()).unwrap();
@@ -194,10 +191,8 @@ mod tests {
 
     /// Sensor-style relation: (sensor_id, time, value) with few sensors.
     fn relation() -> (AttributeSpace, Vec<Vec<f64>>) {
-        let space = AttributeSpace::new(
-            vec![(0.0, 4.0), (0.0, 256.0), (0.0, 64.0)],
-            vec![4, 256, 64],
-        );
+        let space =
+            AttributeSpace::new(vec![(0.0, 4.0), (0.0, 256.0), (0.0, 64.0)], vec![4, 256, 64]);
         let tuples: Vec<Vec<f64>> = (0..2000)
             .map(|i| {
                 let sensor = (i % 4) as f64 + 0.5;

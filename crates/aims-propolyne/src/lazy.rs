@@ -226,8 +226,7 @@ impl HybridSignal {
                         // values over the clean interval are at rounding
                         // scale of the *input* polynomial was annihilated
                         // by the moment condition.
-                        let scale_in =
-                            poly_scale(poly, s as usize, (e - 1) as usize).max(1.0);
+                        let scale_in = poly_scale(poly, s as usize, (e - 1) as usize).max(1.0);
                         let keep = |q: &Polynomial| {
                             poly_scale(q, clean_lo as usize, clean_hi as usize)
                                 > ZERO_TOL * scale_in
@@ -296,10 +295,8 @@ impl HybridSignal {
         explicit: &[(usize, f64)],
         tol: f64,
     ) -> HybridSignal {
-        let mut pieces: Vec<Piece> = polys
-            .into_iter()
-            .map(|(start, end, poly)| Piece::Poly { start, end, poly })
-            .collect();
+        let mut pieces: Vec<Piece> =
+            polys.into_iter().map(|(start, end, poly)| Piece::Poly { start, end, poly }).collect();
 
         // Merge consecutive explicit points into runs (keeping zeros that
         // sit between nonzeros is fine; isolated zeros are dropped).
@@ -411,12 +408,7 @@ pub fn lazy_transform(
         current = approx;
     }
     details_fine_first.reverse();
-    LazyTransform {
-        approx: current.value_at(0),
-        details: details_fine_first,
-        n,
-        work,
-    }
+    LazyTransform { approx: current.value_at(0), details: details_fine_first, n, work }
 }
 
 #[cfg(test)]
@@ -426,10 +418,15 @@ mod tests {
     use aims_dsp::filters::FilterKind;
 
     /// Dense reference: transform the materialized query vector.
-    fn dense_reference(n: usize, a: usize, b: usize, poly: &Polynomial, f: &WaveletFilter) -> Vec<f64> {
-        let q: Vec<f64> = (0..n)
-            .map(|i| if i >= a && i <= b { poly.eval(i as f64) } else { 0.0 })
-            .collect();
+    fn dense_reference(
+        n: usize,
+        a: usize,
+        b: usize,
+        poly: &Polynomial,
+        f: &WaveletFilter,
+    ) -> Vec<f64> {
+        let q: Vec<f64> =
+            (0..n).map(|i| if i >= a && i <= b { poly.eval(i as f64) } else { 0.0 }).collect();
         dwt_full(&q, f)
     }
 
@@ -516,7 +513,8 @@ mod tests {
     #[test]
     fn haar_on_count_measure_is_sparse() {
         let n = 1 << 12;
-        let lazy = lazy_transform(n, 77, 3000, &Polynomial::constant(1.0), &FilterKind::Haar.filter());
+        let lazy =
+            lazy_transform(n, 77, 3000, &Polynomial::constant(1.0), &FilterKind::Haar.filter());
         let nnz = lazy.nnz(1e-9);
         assert!(nnz <= 2 * 13 + 2, "Haar count query should be ~2·log n, got {nnz}");
     }

@@ -36,13 +36,23 @@ pub struct PacketCube {
 }
 
 /// Transforms one line with a fixed packet basis.
-fn transform_line(line: &[f64], filter: &WaveletFilter, depth: usize, basis: &PacketBasis) -> Vec<f64> {
+fn transform_line(
+    line: &[f64],
+    filter: &WaveletFilter,
+    depth: usize,
+    basis: &PacketBasis,
+) -> Vec<f64> {
     let tree = WaveletPacketTree::decompose(line, filter, depth);
     tree.coefficients(basis)
 }
 
 /// Inverts one line from a fixed packet basis.
-fn invert_line(coeffs: &[f64], filter: &WaveletFilter, depth: usize, basis: &PacketBasis) -> Vec<f64> {
+fn invert_line(
+    coeffs: &[f64],
+    filter: &WaveletFilter,
+    depth: usize,
+    basis: &PacketBasis,
+) -> Vec<f64> {
     // The tree's shape depends only on the length; decompose zeros to get
     // a shape-compatible tree and reconstruct from the provided basis
     // coefficients.
@@ -172,15 +182,16 @@ impl PacketCube {
             let per_dim: Vec<Vec<(usize, f64)>> = (0..self.dims.len())
                 .map(|k| {
                     let (a, b) = query.ranges[k];
-                    let dense: Vec<f64> = (0..self.dims[k])
-                        .map(|i| {
-                            if i >= a && i <= b {
-                                term.factors[k].eval(i as f64)
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect();
+                    let dense: Vec<f64> =
+                        (0..self.dims[k])
+                            .map(|i| {
+                                if i >= a && i <= b {
+                                    term.factors[k].eval(i as f64)
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect();
                     transform_line(&dense, &self.filter, self.depth, &self.bases[k])
                         .into_iter()
                         .enumerate()
@@ -327,10 +338,7 @@ mod tests {
         ] {
             let got = pc.evaluate(&q);
             let expect = q.eval_scan(&cube);
-            assert!(
-                (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
-                "{got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0), "{got} vs {expect}");
         }
     }
 

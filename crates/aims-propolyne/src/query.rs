@@ -51,13 +51,7 @@ impl Monomial {
 
     /// Evaluates the term at a bin multi-index.
     pub fn eval(&self, idx: &[usize]) -> f64 {
-        self.coef
-            * self
-                .factors
-                .iter()
-                .zip(idx)
-                .map(|(p, &i)| p.eval(i as f64))
-                .product::<f64>()
+        self.coef * self.factors.iter().zip(idx).map(|(p, &i)| p.eval(i as f64)).product::<f64>()
     }
 }
 
@@ -161,13 +155,7 @@ mod tests {
         let space = AttributeSpace::new(vec![(0.0, 4.0), (0.0, 4.0)], vec![4, 4]);
         DataCube::from_tuples(
             &space,
-            vec![
-                vec![0.5, 0.5],
-                vec![1.5, 0.5],
-                vec![1.5, 2.5],
-                vec![3.5, 3.5],
-                vec![3.5, 3.5],
-            ],
+            vec![vec![0.5, 0.5], vec![1.5, 0.5], vec![1.5, 2.5], vec![3.5, 3.5], vec![3.5, 3.5]],
         )
     }
 

@@ -156,18 +156,16 @@ mod tests {
                     b >= ranges[k].0 && b <= ranges[k].1
                 })
             })
-            .map(|t| (space.bin_center(0, space.bin(0, t[0])), space.bin_center(1, space.bin(1, t[1]))))
+            .map(|t| {
+                (space.bin_center(0, space.bin(0, t[0])), space.bin_center(1, space.bin(1, t[1])))
+            })
             .collect();
         let n = selected.len() as f64;
         let sum_x: f64 = selected.iter().map(|p| p.0).sum();
         let mean_x = sum_x / n;
         let var_x = selected.iter().map(|p| (p.0 - mean_x) * (p.0 - mean_x)).sum::<f64>() / n;
         let mean_y = selected.iter().map(|p| p.1).sum::<f64>() / n;
-        let cov = selected
-            .iter()
-            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-            .sum::<f64>()
-            / n;
+        let cov = selected.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum::<f64>() / n;
         (n, sum_x, mean_x, var_x, cov)
     }
 

@@ -41,11 +41,7 @@ impl DataSynopsis {
 /// *query* coefficients for progressive ProPolyne. Returns
 /// `(data_approx_rel_error, query_approx_rel_error)` averaged over the
 /// workload.
-pub fn compare_at_budget(
-    full: &Propolyne,
-    queries: &[RangeSumQuery],
-    budget: usize,
-) -> (f64, f64) {
+pub fn compare_at_budget(full: &Propolyne, queries: &[RangeSumQuery], budget: usize) -> (f64, f64) {
     assert!(!queries.is_empty(), "need a workload");
     let synopsis = DataSynopsis::new(full.cube(), budget);
     let mut data_err = 0.0;
@@ -58,11 +54,7 @@ pub fn compare_at_budget(
         data_err += (approx_data - exact).abs() / scale;
 
         let run = full.progressive(q);
-        let step = run
-            .steps
-            .iter()
-            .take_while(|s| s.coefficients_used <= budget)
-            .last();
+        let step = run.steps.iter().take_while(|s| s.coefficients_used <= budget).last();
         let approx_query = step.map_or(0.0, |s| s.estimate);
         query_err += (approx_query - exact).abs() / scale;
     }

@@ -236,10 +236,8 @@ pub struct AdhdSession {
 
 /// Channel names of one 6-DoF tracker.
 fn tracker_spec(site: TrackerSite, rate: f64) -> StreamSpec {
-    let names = ["x", "y", "z", "h", "p", "r"]
-        .iter()
-        .map(|c| format!("{}/{c}", site.name()))
-        .collect();
+    let names =
+        ["x", "y", "z", "h", "p", "r"].iter().map(|c| format!("{}/{c}", site.name())).collect();
     StreamSpec::new(names, rate)
 }
 
@@ -290,14 +288,11 @@ pub fn generate_session(
 
         // Attention lapse: targets during attended distractions are missed
         // more often.
-        let distracted = distractions.iter().any(|d| {
-            d.attention_s > 0.0 && t >= d.time_s && t <= d.time_s + d.attention_s
-        });
-        let miss_p = if distracted {
-            (profile.miss_rate * 2.5).min(0.95)
-        } else {
-            profile.miss_rate
-        };
+        let distracted = distractions
+            .iter()
+            .any(|d| d.attention_s > 0.0 && t >= d.time_s && t <= d.time_s + d.attention_s);
+        let miss_p =
+            if distracted { (profile.miss_rate * 2.5).min(0.95) } else { profile.miss_rate };
         let (responded, reaction) = if is_target {
             if noise.chance(miss_p) {
                 (false, None)
@@ -311,7 +306,13 @@ pub fn generate_session(
         } else {
             (false, None)
         };
-        task_events.push(TaskEvent { time_s: t, stimulus, is_target, responded, reaction_s: reaction });
+        task_events.push(TaskEvent {
+            time_s: t,
+            stimulus,
+            is_target,
+            responded,
+            reaction_s: reaction,
+        });
         t += noise.uniform(0.7, 1.3) * config.stimulus_interval_s;
     }
 
@@ -395,11 +396,7 @@ pub fn generate_session(
 
 /// Generates a balanced cohort: `per_group` normal and `per_group` ADHD
 /// sessions, subject ids `0..2·per_group`, deterministically from `seed`.
-pub fn generate_cohort(
-    per_group: usize,
-    config: &SessionConfig,
-    seed: u64,
-) -> Vec<AdhdSession> {
+pub fn generate_cohort(per_group: usize, config: &SessionConfig, seed: u64) -> Vec<AdhdSession> {
     let mut noise = NoiseSource::seeded(seed);
     let mut sessions = Vec::with_capacity(per_group * 2);
     for i in 0..per_group * 2 {
@@ -459,12 +456,8 @@ impl AdhdSession {
 
     /// Mean reaction time over hits; `None` when the subject never hit.
     pub fn mean_reaction_time(&self) -> Option<f64> {
-        let rts: Vec<f64> = self
-            .task_events
-            .iter()
-            .filter(|e| e.is_hit())
-            .filter_map(|e| e.reaction_s)
-            .collect();
+        let rts: Vec<f64> =
+            self.task_events.iter().filter(|e| e.is_hit()).filter_map(|e| e.reaction_s).collect();
         if rts.is_empty() {
             None
         } else {
@@ -582,7 +575,7 @@ mod tests {
         assert_eq!(rel.len(), 5 * 3600);
         assert_eq!(rel[0][0], 0.0); // head
         assert_eq!(rel.last().unwrap()[0], 4.0); // right leg
-        // Times within the session.
+                                                 // Times within the session.
         for row in rel.iter().step_by(1000) {
             assert!((0.0..60.0).contains(&row[7]));
         }

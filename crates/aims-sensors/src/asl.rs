@@ -79,11 +79,20 @@ impl AslVocabulary {
         signs.push(AslSign {
             name: "B".into(),
             shape: letter_shape(&[
-                (4, 5.0), (5, 5.0), (6, 5.0),   // index extended
-                (7, 5.0), (8, 5.0), (9, 5.0),   // middle extended
-                (11, 5.0), (12, 5.0), (13, 5.0), // ring extended
-                (15, 5.0), (16, 5.0), (17, 5.0), // pinky extended
-                (0, 60.0), (1, 70.0),            // thumb folded
+                (4, 5.0),
+                (5, 5.0),
+                (6, 5.0), // index extended
+                (7, 5.0),
+                (8, 5.0),
+                (9, 5.0), // middle extended
+                (11, 5.0),
+                (12, 5.0),
+                (13, 5.0), // ring extended
+                (15, 5.0),
+                (16, 5.0),
+                (17, 5.0), // pinky extended
+                (0, 60.0),
+                (1, 70.0), // thumb folded
             ]),
             motion: WristMotion::still(),
             base_duration_s: 0.8,
@@ -99,8 +108,12 @@ impl AslVocabulary {
         signs.push(AslSign {
             name: "Y".into(),
             shape: letter_shape(&[
-                (0, 5.0), (1, 8.0), (2, 8.0),    // thumb out
-                (15, 5.0), (16, 5.0), (17, 5.0), // pinky out
+                (0, 5.0),
+                (1, 8.0),
+                (2, 8.0), // thumb out
+                (15, 5.0),
+                (16, 5.0),
+                (17, 5.0), // pinky out
             ]),
             motion: WristMotion::still(),
             base_duration_s: 0.8,
@@ -195,13 +208,8 @@ impl AslVocabulary {
         let sign = &self.signs[label];
         let duration = sign.base_duration_s * noise.uniform(0.65, 1.4);
         let frames = ((duration * self.rig.sample_rate) as usize).max(8);
-        let stream = self.rig.record_motion(
-            &HandShape::neutral(),
-            &sign.shape,
-            &sign.motion,
-            frames,
-            noise,
-        );
+        let stream =
+            self.rig.record_motion(&HandShape::neutral(), &sign.shape, &sign.motion, frames, noise);
         SignInstance { label, stream }
     }
 
@@ -285,8 +293,7 @@ mod tests {
 
     #[test]
     fn instance_reaches_sign_shape() {
-        let rig =
-            CyberGloveRig { noise_sigma: 0.0, tremor_amplitude: 0.0, ..Default::default() };
+        let rig = CyberGloveRig { noise_sigma: 0.0, tremor_amplitude: 0.0, ..Default::default() };
         let v = AslVocabulary::standard(rig);
         let mut noise = NoiseSource::seeded(1);
         let inst = v.instance(1, &mut noise); // "B", no wrist motion

@@ -104,12 +104,7 @@ impl HandShape {
 
     /// Euclidean distance in joint-angle space.
     pub fn distance(&self, other: &HandShape) -> f64 {
-        self.joints
-            .iter()
-            .zip(&other.joints)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.joints.iter().zip(&other.joints).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 
@@ -130,12 +125,7 @@ pub struct WristMotion {
 impl WristMotion {
     /// A motionless wrist.
     pub fn still() -> Self {
-        WristMotion {
-            amplitude: [0.0; 6],
-            frequency: [0.0; 6],
-            phase: [0.0; 6],
-            sweep: [0.0; 6],
-        }
+        WristMotion { amplitude: [0.0; 6], frequency: [0.0; 6], phase: [0.0; 6], sweep: [0.0; 6] }
     }
 
     /// The wrist-twist gesture the paper uses for color signs ("wrist
@@ -237,11 +227,11 @@ impl CyberGloveRig {
             }
             let wrist = motion.eval(t);
             for c in 0..NUM_TRACKER_CHANNELS {
-                values[NUM_GLOVE_SENSORS + c] =
-                    wrist[c] + noise.gaussian_scaled(self.noise_sigma);
+                values[NUM_GLOVE_SENSORS + c] = wrist[c] + noise.gaussian_scaled(self.noise_sigma);
             }
             stream.push(&values);
         }
+        aims_telemetry::global().counter("sensors.glove.frames_generated").add(stream.len() as u64);
         stream
     }
 
@@ -272,9 +262,7 @@ impl CyberGloveRig {
         while stream.len() < total {
             // Overshooting `total` is fine — the final slice trims it.
             let dwell = noise.uniform(0.8, 2.0) / (0.2 + activity);
-            let frames = ((dwell * self.sample_rate) as usize)
-                .min(total - stream.len())
-                .max(2);
+            let frames = ((dwell * self.sample_rate) as usize).min(total - stream.len()).max(2);
             let next = if noise.chance(0.2 + 0.8 * activity) {
                 let target = HandShape::random(noise);
                 current.lerp(&target, activity)
@@ -369,7 +357,8 @@ mod tests {
         let mut noise = NoiseSource::seeded(4);
         let calm = rig.record_session(10.0, 0.05, &mut noise);
         let busy = rig.record_session(10.0, 0.95, &mut noise);
-        let energy = |s: &MultiStream| -> f64 { s.motion_speed().iter().sum::<f64>() / s.len() as f64 };
+        let energy =
+            |s: &MultiStream| -> f64 { s.motion_speed().iter().sum::<f64>() / s.len() as f64 };
         assert!(
             energy(&busy) > 1.5 * energy(&calm),
             "busy {} vs calm {}",

@@ -107,10 +107,12 @@ pub fn from_csv(text: &str) -> Result<MultiStream, CsvError> {
         }
         let mut frame = Vec::with_capacity(expected);
         for f in fields {
-            frame.push(f.trim().parse::<f64>().map_err(|_| CsvError::BadNumber {
-                line: idx + 1,
-                field: f.trim().to_string(),
-            })?);
+            frame.push(
+                f.trim().parse::<f64>().map_err(|_| CsvError::BadNumber {
+                    line: idx + 1,
+                    field: f.trim().to_string(),
+                })?,
+            );
         }
         stream.push(&frame);
     }

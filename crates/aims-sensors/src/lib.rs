@@ -30,5 +30,7 @@ pub mod noise;
 pub mod types;
 
 pub use asl::{AslSign, AslVocabulary, SignInstance};
-pub use glove::{CyberGloveRig, GLOVE_SENSOR_NAMES, NUM_CHANNELS, NUM_GLOVE_SENSORS, NUM_TRACKER_CHANNELS};
+pub use glove::{
+    CyberGloveRig, GLOVE_SENSOR_NAMES, NUM_CHANNELS, NUM_GLOVE_SENSORS, NUM_TRACKER_CHANNELS,
+};
 pub use types::{Frame, MultiStream, SensorId, StreamSpec};

@@ -9,7 +9,6 @@
 //! error tree*, extended to multivariate data by taking Cartesian products
 //! of the per-dimension virtual blocks.
 
-
 /// A total map from coefficient indices to block ids.
 pub trait Allocation {
     /// Block holding coefficient `i`.
@@ -47,10 +46,7 @@ pub fn evaluate_allocation<A: Allocation>(alloc: &A, queries: &[Vec<usize>]) -> 
         total_blocks += blocks.len();
         total_needed_per_block += q.len() as f64 / blocks.len() as f64;
     }
-    (
-        total_blocks as f64 / queries.len() as f64,
-        total_needed_per_block / queries.len() as f64,
-    )
+    (total_blocks as f64 / queries.len() as f64, total_needed_per_block / queries.len() as f64)
 }
 
 /// The paper's theoretical upper bound on expected needed items per
@@ -259,11 +255,8 @@ impl TensorAlloc {
     pub fn new(dims: &[usize], virtual_block: &[usize]) -> Self {
         assert_eq!(dims.len(), virtual_block.len(), "dims/virtual_block length mismatch");
         assert!(!dims.is_empty(), "need at least one dimension");
-        let per_dim: Vec<TreeTilingAlloc> = dims
-            .iter()
-            .zip(virtual_block)
-            .map(|(&n, &b)| TreeTilingAlloc::new(n, b))
-            .collect();
+        let per_dim: Vec<TreeTilingAlloc> =
+            dims.iter().zip(virtual_block).map(|(&n, &b)| TreeTilingAlloc::new(n, b)).collect();
         let mut strides = vec![1usize; dims.len()];
         for a in (0..dims.len() - 1).rev() {
             strides[a] = strides[a + 1] * dims[a + 1];
@@ -418,8 +411,7 @@ mod tests {
         let tiling = TreeTilingAlloc::new(n, b);
         let sequential = SequentialAlloc::new(n, b);
         let random = RandomAlloc::new(n, b, 9);
-        let queries: Vec<Vec<usize>> =
-            (0..200).map(|k| point_query_set((k * 71) % n, n)).collect();
+        let queries: Vec<Vec<usize>> = (0..200).map(|k| point_query_set((k * 71) % n, n)).collect();
 
         let (_, needed_tiling) = evaluate_allocation(&tiling, &queries);
         let (_, needed_seq) = evaluate_allocation(&sequential, &queries);
@@ -427,10 +419,7 @@ mod tests {
         let bound = needed_items_upper_bound(b);
 
         assert!(needed_tiling <= bound, "tiling {needed_tiling} exceeds bound {bound}");
-        assert!(
-            needed_tiling > bound * 0.55,
-            "tiling {needed_tiling} far from bound {bound}"
-        );
+        assert!(needed_tiling > bound * 0.55, "tiling {needed_tiling} far from bound {bound}");
         assert!(needed_tiling > 1.8 * needed_seq, "tiling {needed_tiling} vs seq {needed_seq}");
         assert!(needed_rand < needed_tiling, "random should be worst");
     }

@@ -9,10 +9,41 @@
 //! size.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use aims_telemetry::{global, Counter, Gauge};
 
 use crate::device::BlockDevice;
 
+/// Cached handles to the global `storage.pool.*` metrics. Every pool in
+/// the process records into the same counters; the gauge tracks the
+/// process-wide hit ratio derived from them.
+struct PoolTelemetry {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    hit_ratio: Arc<Gauge>,
+}
+
+fn pool_telemetry() -> &'static PoolTelemetry {
+    static T: OnceLock<PoolTelemetry> = OnceLock::new();
+    T.get_or_init(|| {
+        let r = global();
+        PoolTelemetry {
+            hits: r.counter("storage.pool.hits"),
+            misses: r.counter("storage.pool.misses"),
+            evictions: r.counter("storage.pool.evictions"),
+            hit_ratio: r.gauge("storage.pool.hit_ratio"),
+        }
+    })
+}
+
 /// Cache statistics.
+///
+/// The counting now lives on the telemetry registry (counters
+/// `storage.pool.{hits,misses,evictions}` and gauge
+/// `storage.pool.hit_ratio`); this struct remains as the per-pool view
+/// returned by [`BufferPool::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Requests served from cache.
@@ -25,13 +56,27 @@ pub struct PoolStats {
 
 impl PoolStats {
     /// Hit ratio in `[0, 1]`; `1.0` when nothing was requested.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BufferPool::hit_ratio()` or the `storage.pool.hit_ratio` telemetry gauge"
+    )]
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        ratio(self.hits, self.misses)
+    }
+}
+
+/// Refreshes the process-wide hit-ratio gauge from the global counters
+/// (so it stays coherent even with several pools alive).
+fn publish_hit_ratio(telemetry: &PoolTelemetry) {
+    telemetry.hit_ratio.set(ratio(telemetry.hits.get(), telemetry.misses.get()));
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 
@@ -42,7 +87,9 @@ pub struct BufferPool {
     /// block id → (data, last-use tick)
     cache: HashMap<usize, (Vec<f64>, u64)>,
     tick: u64,
-    stats: PoolStats,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -52,28 +99,35 @@ impl BufferPool {
     /// If `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
-        BufferPool { capacity, cache: HashMap::new(), tick: 0, stats: PoolStats::default() }
+        BufferPool { capacity, cache: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Fetches a block through the cache.
     pub fn get(&mut self, device: &BlockDevice, id: usize) -> Vec<f64> {
+        let telemetry = pool_telemetry();
         self.tick += 1;
         let tick = self.tick;
         if let Some((data, last)) = self.cache.get_mut(&id) {
             *last = tick;
-            self.stats.hits += 1;
-            return data.clone();
+            let data = data.clone();
+            self.hits += 1;
+            telemetry.hits.inc();
+            publish_hit_ratio(telemetry);
+            return data;
         }
-        self.stats.misses += 1;
+        self.misses += 1;
+        telemetry.misses.inc();
         let data = device.read_block(id);
         if self.cache.len() >= self.capacity {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, last))| *last) {
                 self.cache.remove(&victim);
-                self.stats.evictions += 1;
+                self.evictions += 1;
+                telemetry.evictions.inc();
             }
         }
         self.cache.insert(id, (data.clone(), tick));
+        publish_hit_ratio(telemetry);
         data
     }
 
@@ -82,14 +136,24 @@ impl BufferPool {
         self.cache.clear();
     }
 
-    /// Snapshot of the counters.
-    pub fn stats(&self) -> PoolStats {
-        self.stats
+    /// This pool's lifetime hit ratio in `[0, 1]`; `1.0` when nothing was
+    /// requested yet.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.misses)
     }
 
-    /// Resets the counters.
+    /// Snapshot of this pool's counters (the global registry keeps the
+    /// process-wide aggregate).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { hits: self.hits, misses: self.misses, evictions: self.evictions }
+    }
+
+    /// Resets this pool's counters (global `storage.pool.*` counters are
+    /// cumulative and unaffected).
     pub fn reset_stats(&mut self) {
-        self.stats = PoolStats::default();
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
     }
 
     /// Blocks currently cached.
@@ -120,7 +184,12 @@ mod tests {
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(d.stats().reads, 1);
-        assert_eq!(pool.stats().hit_ratio(), 0.5);
+        assert_eq!(pool.hit_ratio(), 0.5);
+        // The deprecated shim keeps returning the same number.
+        #[allow(deprecated)]
+        {
+            assert_eq!(pool.stats().hit_ratio(), 0.5);
+        }
     }
 
     #[test]
@@ -152,6 +221,19 @@ mod tests {
 
     #[test]
     fn empty_pool_hit_ratio_is_one() {
-        assert_eq!(BufferPool::new(1).stats().hit_ratio(), 1.0);
+        assert_eq!(BufferPool::new(1).hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn pool_counts_flow_into_global_registry() {
+        let d = device();
+        let before = aims_telemetry::global().snapshot();
+        let mut pool = BufferPool::new(2);
+        pool.get(&d, 0);
+        pool.get(&d, 0);
+        let after = aims_telemetry::global().snapshot();
+        assert!(after.counter("storage.pool.hits") > before.counter("storage.pool.hits"));
+        assert!(after.counter("storage.pool.misses") > before.counter("storage.pool.misses"));
+        assert!(after.gauge("storage.pool.hit_ratio").is_some());
     }
 }

@@ -4,10 +4,21 @@
 //! (§4). For the reproduction what matters is the *accounting*: how many
 //! block reads and writes each query costs under each allocation strategy.
 //! This device stores fixed-size blocks of `f64` items in memory and counts
-//! every access; `parking_lot` guards the counters so concurrent readers
+//! every access; a mutex guards the counters so concurrent readers
 //! (e.g. the acquisition recorder thread) stay correct.
 
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use aims_telemetry::{global, Counter};
+
+/// Cached handles to the global `storage.device.{reads,writes}` counters,
+/// so the per-access cost is one atomic add rather than a registry probe.
+fn io_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static C: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    C.get_or_init(|| {
+        (global().counter("storage.device.reads"), global().counter("storage.device.writes"))
+    })
+}
 
 /// Running I/O counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,7 +68,8 @@ impl BlockDevice {
     /// If the block id is out of range.
     pub fn read_block(&self, id: usize) -> Vec<f64> {
         assert!(id < self.blocks.len(), "block {id} out of range");
-        self.stats.lock().reads += 1;
+        self.stats.lock().unwrap().reads += 1;
+        io_counters().0.inc();
         self.blocks[id].clone()
     }
 
@@ -69,7 +81,8 @@ impl BlockDevice {
     pub fn write_block(&mut self, id: usize, data: &[f64]) {
         assert!(id < self.blocks.len(), "block {id} out of range");
         assert_eq!(data.len(), self.block_size, "block data size mismatch");
-        self.stats.lock().writes += 1;
+        self.stats.lock().unwrap().writes += 1;
+        io_counters().1.inc();
         self.blocks[id].copy_from_slice(data);
     }
 
@@ -81,13 +94,13 @@ impl BlockDevice {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> DeviceStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     /// Resets the counters (e.g. after the load phase, before measuring a
     /// query workload).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = DeviceStats::default();
+        *self.stats.lock().unwrap() = DeviceStats::default();
     }
 
     /// Total capacity in items.

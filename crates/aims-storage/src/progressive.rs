@@ -130,11 +130,9 @@ mod tests {
     fn curve_ends_exact_for_all_orders() {
         let (query, coeffs, alloc) = setup();
         let exact: f64 = coeffs.iter().sum();
-        for order in [
-            RetrievalOrder::Importance,
-            RetrievalOrder::Sequential,
-            RetrievalOrder::Random(3),
-        ] {
+        for order in
+            [RetrievalOrder::Importance, RetrievalOrder::Sequential, RetrievalOrder::Random(3)]
+        {
             let curve = progressive_curve(&query, &coeffs, &alloc, order);
             let last = curve.last().unwrap();
             assert_eq!(last.blocks_read, 4);

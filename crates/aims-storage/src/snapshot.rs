@@ -6,8 +6,6 @@
 //! binary image of a [`WaveletStore`] — allocation descriptor plus raw
 //! block payloads — that round-trips through any byte sink.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::buffer::BufferPool;
 use crate::store::{AllocKind, WaveletStore};
 
@@ -42,29 +40,70 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-fn encode_alloc(kind: AllocKind, out: &mut BytesMut) {
+/// Minimal big-endian reader over a byte slice (replaces the external
+/// `bytes` crate, which the offline build cannot fetch).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn encode_alloc(kind: AllocKind, out: &mut Vec<u8>) {
     match kind {
         AllocKind::Sequential => {
-            out.put_u8(0);
-            out.put_u64(0);
+            out.push(0);
+            out.extend_from_slice(&0u64.to_be_bytes());
         }
         AllocKind::Random(seed) => {
-            out.put_u8(1);
-            out.put_u64(seed);
+            out.push(1);
+            out.extend_from_slice(&seed.to_be_bytes());
         }
         AllocKind::TreeTiling => {
-            out.put_u8(2);
-            out.put_u64(0);
+            out.push(2);
+            out.extend_from_slice(&0u64.to_be_bytes());
         }
     }
 }
 
-fn decode_alloc(buf: &mut Bytes) -> Result<AllocKind, SnapshotError> {
+fn decode_alloc(buf: &mut Reader<'_>) -> Result<AllocKind, SnapshotError> {
     if buf.remaining() < 9 {
         return Err(SnapshotError::Truncated);
     }
-    let tag = buf.get_u8();
-    let seed = buf.get_u64();
+    let tag = buf.get_u8()?;
+    let seed = buf.get_u64()?;
     match tag {
         0 => Ok(AllocKind::Sequential),
         1 => Ok(AllocKind::Random(seed)),
@@ -80,30 +119,30 @@ fn decode_alloc(buf: &mut Bytes) -> Result<AllocKind, SnapshotError> {
 /// (Persisting the signal rather than raw blocks keeps the format
 /// independent of slot-assignment details; loading re-runs the same
 /// deterministic transform + placement.)
-pub fn snapshot(store: &WaveletStore, kind: AllocKind) -> Bytes {
-    let mut out = BytesMut::with_capacity(32 + store.len() * 8);
-    out.put_u32(MAGIC);
-    out.put_u16(VERSION);
+pub fn snapshot(store: &WaveletStore, kind: AllocKind) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + store.len() * 8);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.extend_from_slice(&VERSION.to_be_bytes());
     encode_alloc(kind, &mut out);
-    out.put_u32(store.block_size() as u32);
-    out.put_u64(store.len() as u64);
+    out.extend_from_slice(&(store.block_size() as u32).to_be_bytes());
+    out.extend_from_slice(&(store.len() as u64).to_be_bytes());
     let mut pool = BufferPool::new(16);
     for v in store.reconstruct_all(&mut pool) {
-        out.put_f64(v);
+        out.extend_from_slice(&v.to_be_bytes());
     }
-    out.freeze()
+    out
 }
 
 /// Restores a store from a snapshot produced by [`snapshot`].
 pub fn restore(image: &[u8]) -> Result<(WaveletStore, AllocKind), SnapshotError> {
-    let mut buf = Bytes::copy_from_slice(image);
+    let mut buf = Reader { buf: image };
     if buf.remaining() < 6 {
         return Err(SnapshotError::Truncated);
     }
-    if buf.get_u32() != MAGIC {
+    if buf.get_u32()? != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = buf.get_u16();
+    let version = buf.get_u16()?;
     if version != VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
@@ -111,12 +150,12 @@ pub fn restore(image: &[u8]) -> Result<(WaveletStore, AllocKind), SnapshotError>
     if buf.remaining() < 12 {
         return Err(SnapshotError::Truncated);
     }
-    let block_size = buf.get_u32() as usize;
-    let n = buf.get_u64() as usize;
+    let block_size = buf.get_u32()? as usize;
+    let n = buf.get_u64()? as usize;
     if buf.remaining() < n * 8 {
         return Err(SnapshotError::Truncated);
     }
-    let signal: Vec<f64> = (0..n).map(|_| buf.get_f64()).collect();
+    let signal: Vec<f64> = (0..n).map(|_| buf.get_f64()).collect::<Result<_, _>>()?;
     Ok((WaveletStore::from_signal(&signal, block_size, kind), kind))
 }
 
@@ -141,8 +180,7 @@ mod tests {
         let mut p2 = BufferPool::new(8);
         for t in (0..256).step_by(17) {
             assert!(
-                (original.point_value(t, &mut p1) - restored.point_value(t, &mut p2)).abs()
-                    < 1e-12,
+                (original.point_value(t, &mut p1) - restored.point_value(t, &mut p2)).abs() < 1e-12,
                 "t={t}"
             );
         }

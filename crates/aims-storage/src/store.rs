@@ -8,6 +8,7 @@
 
 use aims_dsp::dwt::{dwt_full, idwt_full};
 use aims_dsp::filters::WaveletFilter;
+use aims_telemetry::{global, span};
 
 use crate::alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 use crate::buffer::BufferPool;
@@ -129,18 +130,35 @@ impl WaveletStore {
     /// Fetches the listed coefficients through the pool, returning values
     /// aligned with `set`.
     pub fn fetch(&self, set: &[usize], pool: &mut BufferPool) -> Vec<f64> {
-        set.iter()
+        let mut blocks: Vec<usize> = Vec::with_capacity(set.len());
+        let values = set
+            .iter()
             .map(|&i| {
                 assert!(i < self.n, "coefficient {i} out of range");
                 let (b, off) = self.locations[i];
+                blocks.push(b);
                 pool.get(&self.device, b)[off]
             })
-            .collect()
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        if !blocks.is_empty() {
+            let telemetry = global();
+            telemetry.counter("storage.store.coefficients_fetched").add(set.len() as u64);
+            // The paper's success metric (§3.2.1): needed items per
+            // retrieved block, which tiling pushes toward 1 + lg B.
+            telemetry
+                .histogram_f64("storage.alloc.needed_items_per_block")
+                .record_f64(set.len() as f64 / blocks.len() as f64);
+        }
+        values
     }
 
     /// Reconstructs the data value at position `t`, reading only its
     /// error-tree path.
     pub fn point_value(&self, t: usize, pool: &mut BufferPool) -> f64 {
+        let _span = span!("storage.store.point_value");
+        global().counter("storage.store.point_queries").inc();
         let set = point_query_set(t, self.n);
         let values = self.fetch(&set, pool);
         let mut x = 0.0;
@@ -152,6 +170,8 @@ impl WaveletStore {
 
     /// Range sum `Σ_{t=a}^{b} x[t]`, reading only the two boundary paths.
     pub fn range_sum(&self, a: usize, b: usize, pool: &mut BufferPool) -> f64 {
+        let _span = span!("storage.store.range_sum");
+        global().counter("storage.store.range_queries").inc();
         let set = range_query_set(a, b, self.n);
         let values = self.fetch(&set, pool);
         let mut sum = 0.0;
@@ -295,9 +315,9 @@ mod tests {
         // Reconstructing from basis values must match idwt: x[t] = Σ c_i φ_i(t).
         let x = signal(n);
         let coeffs = dwt_full(&x, &WaveletFilter::haar());
-        for t in 0..n {
+        for (t, &xt) in x.iter().enumerate() {
             let v: f64 = (0..n).map(|i| coeffs[i] * haar_basis_value(i, t, n)).sum();
-            assert!((v - x[t]).abs() < 1e-9, "t={t}");
+            assert!((v - xt).abs() < 1e-9, "t={t}");
         }
     }
 

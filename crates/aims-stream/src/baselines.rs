@@ -113,15 +113,10 @@ enum TransformKind {
 fn channel_features(channel: &[f64], kind: &TransformKind) -> Vec<f64> {
     let r = resample(channel, next_pow2(RESAMPLE_LEN));
     match kind {
-        TransformKind::Dft => fft_real(&r)
-            .into_iter()
-            .take(KEPT_COEFFS)
-            .map(|c| c.abs())
-            .collect(),
-        TransformKind::Dwt => dwt_full(&r, &WaveletFilter::haar())
-            .into_iter()
-            .take(KEPT_COEFFS)
-            .collect(),
+        TransformKind::Dft => fft_real(&r).into_iter().take(KEPT_COEFFS).map(|c| c.abs()).collect(),
+        TransformKind::Dwt => {
+            dwt_full(&r, &WaveletFilter::haar()).into_iter().take(KEPT_COEFFS).collect()
+        }
     }
 }
 

@@ -20,6 +20,7 @@
 
 use aims_linalg::IncrementalSvd;
 use aims_sensors::types::MultiStream;
+use aims_telemetry::{global, span};
 
 use crate::engine::SlidingWindow;
 use crate::signature::SvdSignature;
@@ -193,6 +194,8 @@ impl StreamRecognizer {
     }
 
     fn evaluate(&mut self) -> Option<DetectedPattern> {
+        let _span = span!("stream.isolation.evaluate");
+        global().counter("stream.isolation.evaluations").inc();
         let sig = match &self.tracker {
             Some(tracker) => SvdSignature::from_incremental(tracker, self.config.rank),
             None => SvdSignature::from_matrix(&self.window.to_matrix(), self.config.rank),
@@ -229,6 +232,7 @@ impl StreamRecognizer {
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .expect("non-empty evidence");
                 if best_e >= self.config.trigger {
+                    global().counter("stream.isolation.accumulation.triggers").inc();
                     self.state = State::Active {
                         label: best,
                         start: self.rise_start[best].max(self.last_emit_end),
@@ -258,22 +262,22 @@ impl StreamRecognizer {
                 // instantaneous advantage is gone) for several steps, when
                 // its evidence collapsed, or on takeover.
                 let advantage_gone = sims[l] <= mean + self.config.margin;
-                if (*stall >= self.config.release_steps && advantage_gone) || e <= 0.0 || overtaken {
+                if (*stall >= self.config.release_steps && advantage_gone) || e <= 0.0 || overtaken
+                {
                     // On takeover the active pattern actually ended about a
                     // window ago (the window now covers the newcomer).
                     let end = if overtaken {
-                        position
-                            .saturating_sub(self.config.window_frames / 2)
-                            .max(*start + 1)
+                        position.saturating_sub(self.config.window_frames / 2).max(*start + 1)
                     } else {
                         position
                     };
-                    let detected = DetectedPattern {
-                        label: l,
-                        start: *start,
-                        end,
-                        peak_evidence: *peak,
-                    };
+                    let detected =
+                        DetectedPattern { label: l, start: *start, end, peak_evidence: *peak };
+                    let telemetry = global();
+                    telemetry.counter("stream.isolation.patterns_detected").inc();
+                    if overtaken {
+                        telemetry.counter("stream.isolation.accumulation.takeovers").inc();
+                    }
                     self.last_emit_end = end;
                     self.state = State::Idle;
                     if !overtaken {
@@ -355,11 +359,8 @@ pub fn evaluate_isolation(
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    let label_accuracy = if matched_pairs == 0 {
-        0.0
-    } else {
-        correct_labels as f64 / matched_pairs as f64
-    };
+    let label_accuracy =
+        if matched_pairs == 0 { 0.0 } else { correct_labels as f64 / matched_pairs as f64 };
     IsolationReport { precision, recall, f1, label_accuracy }
 }
 
@@ -447,7 +448,8 @@ mod tests {
         assert_eq!(r.f1, 1.0);
         assert_eq!(r.label_accuracy, 1.0);
 
-        let wrong_label = vec![DetectedPattern { label: 1, start: 0, end: 100, peak_evidence: 1.0 }];
+        let wrong_label =
+            vec![DetectedPattern { label: 1, start: 0, end: 100, peak_evidence: 1.0 }];
         let r2 = evaluate_isolation(&wrong_label, &truth, 0.5);
         assert_eq!(r2.recall, 0.5);
         assert_eq!(r2.label_accuracy, 0.0);

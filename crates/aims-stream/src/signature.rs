@@ -32,6 +32,7 @@ impl SvdSignature {
     /// # Panics
     /// If the matrix is empty or `k == 0`.
     pub fn from_matrix(window: &Matrix, k: usize) -> Self {
+        let _span = aims_telemetry::span!("stream.signature.from_matrix");
         assert!(k > 0, "need at least one direction");
         assert!(window.rows() > 0 && window.cols() > 0, "empty window");
         let svd = Svd::compute(window);
@@ -105,6 +106,7 @@ impl SvdSignature {
     /// # Panics
     /// If sensor dimensions differ.
     pub fn similarity(&self, other: &SvdSignature) -> f64 {
+        aims_telemetry::global().counter("stream.signature.comparisons").inc();
         assert_eq!(self.sensors(), other.sensors(), "sensor dimensionality mismatch");
         let k = self.rank().min(other.rank());
         let mut sim = 0.0;

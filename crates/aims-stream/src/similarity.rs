@@ -77,8 +77,7 @@ mod tests {
         assert!(lens.iter().max().unwrap() > lens.iter().min().unwrap());
         for i in 0..instances.len() {
             for j in i + 1..instances.len() {
-                best_same =
-                    best_same.max(weighted_svd_similarity(&instances[i], &instances[j], 6));
+                best_same = best_same.max(weighted_svd_similarity(&instances[i], &instances[j], 6));
             }
         }
         assert!(best_same > 0.9, "best same-sign similarity {best_same}");

@@ -76,10 +76,7 @@ impl VocabularyMatcher {
     /// Rank-1 recognition accuracy over a labeled test set.
     pub fn accuracy(&self, test: &[(usize, MultiStream)]) -> f64 {
         assert!(!test.is_empty(), "empty test set");
-        let hits = test
-            .iter()
-            .filter(|(label, stream)| self.classify(stream).0 == *label)
-            .count();
+        let hits = test.iter().filter(|(label, stream)| self.classify(stream).0 == *label).count();
         hits as f64 / test.len() as f64
     }
 }
@@ -91,7 +88,10 @@ mod tests {
     use aims_sensors::glove::CyberGloveRig;
     use aims_sensors::noise::NoiseSource;
 
-    fn trained_matcher(measure: SimilarityMeasure, seed: u64) -> (VocabularyMatcher, AslVocabulary) {
+    fn trained_matcher(
+        measure: SimilarityMeasure,
+        seed: u64,
+    ) -> (VocabularyMatcher, AslVocabulary) {
         let vocab = AslVocabulary::standard(CyberGloveRig::default());
         let mut noise = NoiseSource::seeded(seed);
         let mut matcher = VocabularyMatcher::new(measure);
@@ -107,11 +107,8 @@ mod tests {
     fn svd_matcher_recognizes_standard_vocabulary() {
         let (matcher, vocab) = trained_matcher(SimilarityMeasure::WeightedSvd, 1);
         let mut noise = NoiseSource::seeded(99);
-        let test: Vec<(usize, _)> = vocab
-            .instance_set(5, &mut noise)
-            .into_iter()
-            .map(|i| (i.label, i.stream))
-            .collect();
+        let test: Vec<(usize, _)> =
+            vocab.instance_set(5, &mut noise).into_iter().map(|i| (i.label, i.stream)).collect();
         let acc = matcher.accuracy(&test);
         assert!(acc > 0.8, "accuracy {acc}");
     }

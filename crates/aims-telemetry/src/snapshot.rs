@@ -1,0 +1,255 @@
+//! Point-in-time views of a registry: aligned text tables for humans,
+//! JSON lines for machine diffing across runs.
+
+use crate::metrics::Histogram;
+
+/// Summary of one histogram at snapshot time.
+///
+/// Quantiles are reported in the histogram's own unit: raw integer
+/// histograms report raw values, `histogram_f64` metrics report the
+/// descaled fraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    pub(crate) fn of(name: &str, h: &Histogram) -> Self {
+        let s = h.scale();
+        HistogramSummary {
+            name: name.to_string(),
+            count: h.count(),
+            mean: h.mean() / s,
+            p50: h.quantile(0.50) as f64 / s,
+            p95: h.quantile(0.95) as f64 / s,
+            p99: h.quantile(0.99) as f64 / s,
+            max: h.max() as f64 / s,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+/// Formats a quantity with engineering suffixes when it's large.
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else if a == 0.0 || a >= 1.0 {
+        if v.fract() == 0.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an f64 as JSON (finite guard: NaN/inf become null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Value of a counter (0 when absent — counters are zero until touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Level of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Summary of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing has been recorded anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter deltas relative to an earlier snapshot of the same
+    /// registry (names only in `self` keep their value; histograms and
+    /// gauges are cumulative and pass through unchanged).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), histograms: self.histograms.clone() }
+    }
+
+    /// Renders an aligned, sectioned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let w = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(7);
+            out.push_str(&format!("{:<w$}  {:>12}\n", "counter", "value", w = w));
+            for (n, v) in &self.counters {
+                out.push_str(&format!("{n:<w$}  {:>12}\n", human(*v as f64), w = w));
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let w = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(5);
+            out.push_str(&format!("{:<w$}  {:>12}\n", "gauge", "level", w = w));
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("{n:<w$}  {:>12}\n", human(*v), w = w));
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let w = self.histograms.iter().map(|h| h.name.len()).max().unwrap_or(0).max(9);
+            out.push_str(&format!(
+                "{:<w$}  {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram",
+                "count",
+                "mean",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+                w = w
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<w$}  {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    human(h.mean),
+                    human(h.p50),
+                    human(h.p95),
+                    human(h.p99),
+                    human(h.max),
+                    w = w
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Renders one JSON object per line (`kind`, `name`, then
+    /// kind-specific fields), stable-ordered for run-to-run diffing.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(n)
+            ));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                json_escape(n),
+                json_num(*v)
+            ));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}\n",
+                json_escape(&h.name),
+                h.count,
+                json_num(h.mean),
+                json_num(h.p50),
+                json_num(h.p95),
+                json_num(h.p99),
+                json_num(h.max),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn table_and_json_render_all_metrics() {
+        let r = MetricsRegistry::new();
+        r.counter("storage.pool.hits").add(42);
+        r.gauge("stream.window.fill").set(0.75);
+        for v in [10u64, 20, 30] {
+            r.histogram("dsp.dwt.forward.ns").record(v);
+        }
+        let snap = r.snapshot();
+        let table = snap.render_table();
+        assert!(table.contains("storage.pool.hits"));
+        assert!(table.contains("42"));
+        assert!(table.contains("dsp.dwt.forward.ns"));
+        let json = snap.to_json_lines();
+        assert_eq!(json.lines().count(), 3);
+        assert!(json.contains("\"kind\":\"counter\""));
+        assert!(json.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(5);
+        let before = r.snapshot();
+        r.counter("a").add(3);
+        r.counter("b").add(2);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("a"), 3);
+        assert_eq!(delta.counter("b"), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert!(snap.is_empty());
+        assert!(snap.render_table().contains("no metrics"));
+        assert!(snap.to_json_lines().is_empty());
+    }
+}

@@ -64,9 +64,18 @@ fn main() {
         adpcm_bytes += adpcm::encode_auto(&chan).size_bytes();
     }
     println!("\ncompression baselines on the full-rate stream:");
-    println!("  huffman on raw bytes (zip stand-in): {:8.2} KB/s (lossless)", zip_bytes as f64 / duration / 1024.0);
-    println!("  huffman on 10-bit quantized codes:   {:8.2} KB/s", huffman_bytes as f64 / duration / 1024.0);
-    println!("  ADPCM (4-bit):                       {:8.2} KB/s", adpcm_bytes as f64 / duration / 1024.0);
+    println!(
+        "  huffman on raw bytes (zip stand-in): {:8.2} KB/s (lossless)",
+        zip_bytes as f64 / duration / 1024.0
+    );
+    println!(
+        "  huffman on 10-bit quantized codes:   {:8.2} KB/s",
+        huffman_bytes as f64 / duration / 1024.0
+    );
+    println!(
+        "  ADPCM (4-bit):                       {:8.2} KB/s",
+        adpcm_bytes as f64 / duration / 1024.0
+    );
 
     // --- Double-buffered recorder. The playback offers frames at CPU
     //     speed (tens of thousands of times real time), so this doubles as
@@ -103,9 +112,7 @@ fn main() {
     let columns = vec![sensor_id, time, session.channel(0), session.channel(22)];
     let plan = select_bases(&columns, &SelectionParams::default());
     println!("\nper-dimension basis plan (§3.1.1):");
-    for (name, basis) in ["sensor_id", "time", "thumb roll", "tracker x"]
-        .iter()
-        .zip(&plan.per_dim)
+    for (name, basis) in ["sensor_id", "time", "thumb roll", "tracker x"].iter().zip(&plan.per_dim)
     {
         println!("  {name:>12}: {}", basis.label());
     }

@@ -65,10 +65,7 @@ fn main() {
         let bin = space.bin(0, s.subject_id as f64 + 0.5);
         let ranges = [(bin, bin), (0, 127), (0, 31)];
         if let Some(avg) = stats.average(1, &ranges) {
-            println!(
-                "  subject {:2} ({:?}): {:6.0} ms",
-                s.subject_id, s.profile.kind, avg
-            );
+            println!("  subject {:2} ({:?}): {:6.0} ms", s.subject_id, s.profile.kind, avg);
         }
     }
 

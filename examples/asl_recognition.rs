@@ -20,11 +20,8 @@ fn main() {
 
     // --- Part 1: isolated-sign recognition, measure comparison. ---
     let mut noise = NoiseSource::seeded(11);
-    let test: Vec<(usize, _)> = vocab
-        .instance_set(8, &mut noise)
-        .into_iter()
-        .map(|i| (i.label, i.stream))
-        .collect();
+    let test: Vec<(usize, _)> =
+        vocab.instance_set(8, &mut noise).into_iter().map(|i| (i.label, i.stream)).collect();
 
     println!("isolated-sign rank-1 accuracy ({} test instances):", test.len());
     for measure in SimilarityMeasure::ALL {
@@ -50,11 +47,7 @@ fn main() {
     let sentence_labels = vec![4usize, 0, 5, 2, 1, 3]; // GREEN A YELLOW G B Y
     let mut stream_noise = NoiseSource::seeded(33);
     let (stream, truth) = vocab.sentence(&sentence_labels, &mut stream_noise);
-    println!(
-        "\ncontinuous stream: {} frames, {} signs performed",
-        stream.len(),
-        truth.len()
-    );
+    println!("\ncontinuous stream: {} frames, {} signs performed", stream.len(), truth.len());
 
     let detections = recognizer.process_stream(&stream);
     for d in &detections {

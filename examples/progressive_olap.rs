@@ -85,7 +85,9 @@ fn main() {
             RangeSumQuery::count(vec![(a, a + 120), (10 + k, 150 + k)])
         })
         .collect();
-    for (name, cube) in [("smooth mixture", gaussian_mixture_cube(n)), ("white noise", noise_cube(n))] {
+    for (name, cube) in
+        [("smooth mixture", gaussian_mixture_cube(n)), ("white noise", noise_cube(n))]
+    {
         let full = Propolyne::new(cube.transform(&FilterKind::Db4.filter()));
         for budget in [64, 256] {
             let (data_err, query_err) = compare_at_budget(&full, &workload, budget);

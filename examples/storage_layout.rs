@@ -52,10 +52,9 @@ fn main() {
     for t in 0..512 {
         store.point_value(t, &mut pool);
     }
-    let stats = pool.stats();
     println!(
         "\nwarm sequential scan of 512 points: {:.1}% buffer hit ratio ({} device reads)",
-        stats.hit_ratio() * 100.0,
+        pool.hit_ratio() * 100.0,
         store.device_stats().reads
     );
 

@@ -7,13 +7,15 @@
 //! aims-cli ingest    --input session.csv [--strategy adaptive|fixed|modified-fixed|grouped]
 //! aims-cli query     --input session.csv --channel 0 --from 1.0 --to 4.0 [--op avg|sum|point]
 //! aims-cli recognize --signs 8 --sentence 12 --seed 3
+//! aims-cli metrics   --seconds 2 --seed 7 [--format table|json]
 //! ```
 //!
 //! `generate` simulates a CyberGlove session to CSV; `ingest` runs the
 //! acquisition + storage pipeline over a CSV and reports compression and
 //! fidelity; `query` serves offline aggregates from blocked wavelet
 //! storage; `recognize` runs the online isolation + recognition loop over
-//! a synthetic signing stream.
+//! a synthetic signing stream; `metrics` runs the quickstart pipeline and
+//! dumps the telemetry registry (counters, gauges, latency histograms).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -28,12 +30,13 @@ use aims::{AimsConfig, AimsSystem};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aims-cli <generate|ingest|query|recognize> [--key value]...\n\
+        "usage: aims-cli <generate|ingest|query|recognize|metrics> [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
          ingest    --input <file> [--strategy adaptive|fixed|modified-fixed|grouped]\n\
          query     --input <file> --channel <n> --from <s> --to <s> [--op avg|sum|point]\n\
-         recognize --signs <n> --sentence <n> --seed <n>"
+         recognize --signs <n> --sentence <n> --seed <n>\n\
+         metrics   --seconds <f> --seed <n> [--format table|json]"
     );
     exit(2);
 }
@@ -163,7 +166,10 @@ fn cmd_query(flags: &HashMap<String, String>) {
     match result {
         Some(v) => {
             let name = &session.spec().channel_names[channel.min(session.channels() - 1)];
-            println!("{op}({name}, {from}s..{to}s) = {v:.4}  [{} block reads]", system.total_block_reads());
+            println!(
+                "{op}({name}, {from}s..{to}s) = {v:.4}  [{} block reads]",
+                system.total_block_reads()
+            );
         }
         None => {
             eprintln!("query out of range (channel {channel}, {from}s..{to}s)");
@@ -207,6 +213,60 @@ fn cmd_recognize(flags: &HashMap<String, String>) {
     );
 }
 
+/// Runs the quickstart pipeline end to end (capture → ingest → offline and
+/// online queries), then dumps everything the components recorded into the
+/// global telemetry registry.
+fn cmd_metrics(flags: &HashMap<String, String>) {
+    use aims::dsp::filters::FilterKind;
+    use aims::dsp::poly::Polynomial;
+    use aims::propolyne::cube::AttributeSpace;
+    use aims::propolyne::query::RangeSumQuery;
+
+    let seconds: f64 = flag(flags, "seconds", 2.0);
+    let seed: u64 = flag(flags, "seed", 7);
+    let format: String = flag(flags, "format", "table".into());
+    if format != "table" && format != "json" {
+        eprintln!("unknown format '{format}' (table|json)");
+        usage();
+    }
+    if seconds <= 0.0 || seconds.is_nan() {
+        eprintln!("--seconds must be positive, got {seconds}");
+        exit(2);
+    }
+
+    // Acquisition + storage: capture a session and serve point/range
+    // queries from blocked wavelet storage through the buffer pools.
+    let rig = CyberGloveRig::default();
+    let mut noise = NoiseSource::seeded(seed);
+    let session = rig.record_session(seconds, 0.6, &mut noise);
+    let mut system = AimsSystem::new(AimsConfig::default());
+    system.ingest(&session);
+    for c in 0..session.channels().min(4) {
+        system.channel_value(c, seconds / 2.0);
+        system.channel_average(c, 0.0, seconds);
+    }
+
+    // Offline analysis: a small ProPolyne cube over two channels, one
+    // exact COUNT and one progressive SUM.
+    let space = AttributeSpace::new(vec![(-120.0, 120.0); 2], vec![32; 2]);
+    let tuples: Vec<Vec<f64>> =
+        (0..session.len()).map(|t| vec![session.value(t, 0), session.value(t, 1)]).collect();
+    let engine = AimsSystem::offline_engine(&space, tuples, &FilterKind::Db4.filter());
+    engine.evaluate(&RangeSumQuery::count(vec![(0, 31), (0, 31)]));
+    engine.progressive(&RangeSumQuery::sum_poly(
+        vec![(0, 31), (0, 31)],
+        0,
+        Polynomial::monomial(1),
+    ));
+
+    let snap = aims::telemetry::global().snapshot();
+    if format == "json" {
+        print!("{}", snap.to_json_lines());
+    } else {
+        print!("{}", snap.render_table());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -218,6 +278,7 @@ fn main() {
         "ingest" => cmd_ingest(&flags),
         "query" => cmd_query(&flags),
         "recognize" => cmd_recognize(&flags),
+        "metrics" => cmd_metrics(&flags),
         _ => usage(),
     }
 }
