@@ -24,7 +24,15 @@ if [[ $fast -eq 0 ]]; then
     cargo build --release
 fi
 
-echo "== cargo test =="
-cargo test -q
+echo "== cargo test (AIMS_THREADS=1, serial execution layer) =="
+AIMS_THREADS=1 cargo test -q
+
+echo "== cargo test (AIMS_THREADS=4, pooled execution layer) =="
+AIMS_THREADS=4 cargo test -q
+
+if [[ $fast -eq 0 ]]; then
+    echo "== bench_parallel (E24 serial-vs-parallel, bit-identical gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e24
+fi
 
 echo "CI OK"

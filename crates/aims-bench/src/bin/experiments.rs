@@ -7,7 +7,8 @@
 //!   cargo run --release -p aims-bench --bin experiments -- e9 e13  # some
 
 use aims_bench::{
-    exp_acquisition, exp_adhd, exp_extensions, exp_online, exp_propolyne, exp_storage, exp_system,
+    exp_acquisition, exp_adhd, exp_extensions, exp_online, exp_parallel, exp_propolyne,
+    exp_storage, exp_system,
 };
 
 type Experiment = (&'static str, fn());
@@ -36,6 +37,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e21", exp_extensions::e21_incremental_recognizer),
     ("e22", exp_extensions::e22_random_projection),
     ("e23", exp_extensions::e23_packet_basis),
+    ("e24", exp_parallel::e24_parallel_speedup),
 ];
 
 fn main() {

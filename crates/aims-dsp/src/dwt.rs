@@ -14,6 +14,8 @@
 //! All transforms here are orthonormal: they preserve energy exactly and
 //! their inverses are their adjoints.
 
+use aims_exec::{global_pool, SharedSlice, ThreadPool};
+
 use crate::filters::WaveletFilter;
 
 /// Returns `true` if `n` is a power of two (and nonzero).
@@ -44,9 +46,26 @@ pub fn analysis_step(signal: &[f64], filter: &WaveletFilter) -> (Vec<f64>, Vec<f
     let half = n / 2;
     let h = filter.lowpass();
     let g = filter.highpass();
+    let taps = h.len();
     let mut approx = vec![0.0; half];
     let mut detail = vec![0.0; half];
-    for k in 0..half {
+    // Wrap-free fast path: while 2k + taps − 1 < n every tap lands in
+    // bounds, so the periodic `% n` is the identity and the window is one
+    // contiguous slice. Only the last few output slots (taps/2 − 1 of
+    // them) ever wrap.
+    let fast = if n >= taps { (n - taps) / 2 + 1 } else { 0 }.min(half);
+    for k in 0..fast {
+        let window = &signal[2 * k..2 * k + taps];
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for ((&hm, &gm), &x) in h.iter().zip(g).zip(window) {
+            a += hm * x;
+            d += gm * x;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+    for k in fast..half {
         let mut a = 0.0;
         let mut d = 0.0;
         for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
@@ -72,8 +91,20 @@ pub fn synthesis_step(approx: &[f64], detail: &[f64], filter: &WaveletFilter) ->
     let n = 2 * half;
     let h = filter.lowpass();
     let g = filter.highpass();
+    let taps = h.len();
     let mut out = vec![0.0; n];
-    for k in 0..half {
+    // Same wrap-free split as `analysis_step`: contiguous scatter while
+    // 2k + taps − 1 < n, periodic wrap only for the tail slots.
+    let fast = if n >= taps { (n - taps) / 2 + 1 } else { 0 }.min(half);
+    for k in 0..fast {
+        let a = approx[k];
+        let d = detail[k];
+        let window = &mut out[2 * k..2 * k + taps];
+        for ((&hm, &gm), slot) in h.iter().zip(g).zip(window.iter_mut()) {
+            *slot += hm * a + gm * d;
+        }
+    }
+    for k in fast..half {
         let a = approx[k];
         let d = detail[k];
         for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
@@ -254,19 +285,54 @@ pub fn flat_index_level(i: usize, n: usize) -> usize {
 /// power-of-two dimensions. This is the transform ProPolyne assumes for its
 /// multivariate range sums.
 ///
+/// Runs on the process-wide [`aims_exec`] pool; see
+/// [`dwt_standard_md_with`] to supply an explicit pool.
+///
 /// # Panics
 /// If `data.len() != dims.iter().product()` or any dimension is not a power
 /// of two.
 pub fn dwt_standard_md(data: &[f64], dims: &[usize], filter: &WaveletFilter) -> Vec<f64> {
-    transform_md(data, dims, |line| dwt_full(line, filter))
+    dwt_standard_md_with(global_pool(), data, dims, filter)
 }
 
 /// Inverse of [`dwt_standard_md`].
 pub fn idwt_standard_md(coeffs: &[f64], dims: &[usize], filter: &WaveletFilter) -> Vec<f64> {
-    transform_md(coeffs, dims, |line| idwt_full(line, filter))
+    idwt_standard_md_with(global_pool(), coeffs, dims, filter)
 }
 
-fn transform_md(data: &[f64], dims: &[usize], line_op: impl Fn(&[f64]) -> Vec<f64>) -> Vec<f64> {
+/// [`dwt_standard_md`] on an explicit thread pool. Every 1-D line is
+/// transformed by exactly one task, so the result is bit-identical for
+/// every pool size.
+pub fn dwt_standard_md_with(
+    pool: &ThreadPool,
+    data: &[f64],
+    dims: &[usize],
+    filter: &WaveletFilter,
+) -> Vec<f64> {
+    let _span = aims_telemetry::span!("dsp.dwt.md.forward");
+    transform_md(pool, data, dims, |line| dwt_full(line, filter))
+}
+
+/// [`idwt_standard_md`] on an explicit thread pool.
+pub fn idwt_standard_md_with(
+    pool: &ThreadPool,
+    coeffs: &[f64],
+    dims: &[usize],
+    filter: &WaveletFilter,
+) -> Vec<f64> {
+    let _span = aims_telemetry::span!("dsp.dwt.md.inverse");
+    transform_md(pool, coeffs, dims, |line| idwt_full(line, filter))
+}
+
+/// Axis-by-axis driver: each axis pass transforms `total / len` independent
+/// 1-D lines, which fan out across the pool (a barrier between axes is
+/// implied by the scoped pool API).
+fn transform_md(
+    pool: &ThreadPool,
+    data: &[f64],
+    dims: &[usize],
+    line_op: impl Fn(&[f64]) -> Vec<f64> + Sync,
+) -> Vec<f64> {
     let total: usize = dims.iter().product();
     assert_eq!(data.len(), total, "data length does not match dims");
     for &d in dims {
@@ -282,20 +348,32 @@ fn transform_md(data: &[f64], dims: &[usize], line_op: impl Fn(&[f64]) -> Vec<f6
         let len = dims[axis];
         let stride = strides[axis];
         let lines = total / len;
-        let mut line = vec![0.0; len];
-        for l in 0..lines {
-            // Base offset of the l-th line along `axis`.
-            let outer = l / stride;
-            let inner = l % stride;
-            let base = outer * stride * len + inner;
-            for (j, slot) in line.iter_mut().enumerate() {
-                *slot = buf[base + j * stride];
+        // Distinct lines cover disjoint index sets, so concurrent strided
+        // gather/scatter through the shared view is race-free.
+        let view = SharedSlice::new(&mut buf);
+        let view = &view;
+        let line_op = &line_op;
+        // Keep every task above ~4k gathered elements so tiny transforms
+        // don't pay per-task overhead.
+        let min_lines = (4096 / len).max(1);
+        pool.par_chunks(lines, min_lines, move |range| {
+            let mut line = vec![0.0; len];
+            for l in range {
+                // Base offset of the l-th line along `axis`.
+                let outer = l / stride;
+                let inner = l % stride;
+                let base = outer * stride * len + inner;
+                for (j, slot) in line.iter_mut().enumerate() {
+                    // SAFETY: indices base + j·stride are unique to line l.
+                    *slot = unsafe { view.read(base + j * stride) };
+                }
+                let transformed = line_op(&line);
+                for (j, v) in transformed.into_iter().enumerate() {
+                    // SAFETY: same disjoint index set as the gather above.
+                    unsafe { view.write(base + j * stride, v) };
+                }
             }
-            let t = line_op(&line);
-            for (j, v) in t.into_iter().enumerate() {
-                buf[base + j * stride] = v;
-            }
-        }
+        });
     }
     buf
 }

@@ -1,0 +1,234 @@
+//! Chunked data-parallel helpers with scheduling-independent results.
+//!
+//! All helpers preserve input order in their outputs, so the only way a
+//! parallel run can differ from a serial one is if the *caller* splits a
+//! floating-point reduction across tasks. The rule used throughout AIMS:
+//! keep each reduction inside one task, or decompose it into fixed-size
+//! blocks with [`ThreadPool::par_map_blocks`] and fold the partials in
+//! block order — then results are bit-identical for every thread count.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use crate::pool::ThreadPool;
+
+/// Splits `n` items into chunks of at least `min_chunk`, targeting a few
+/// chunks per thread so stealing can balance uneven work.
+fn chunk_size(n: usize, threads: usize, min_chunk: usize) -> usize {
+    n.div_ceil(threads.max(1) * 4).max(min_chunk).max(1)
+}
+
+impl ThreadPool {
+    /// Applies `f` to every element of `items`, returning results in input
+    /// order. Each element is mapped by exactly one task, so per-element
+    /// results are bit-identical to a serial `map`.
+    pub fn par_map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        let n = items.len();
+        if self.is_serial() || n <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = chunk_size(n, self.threads(), 1);
+        let nchunks = n.div_ceil(chunk);
+        let slots: Vec<Mutex<Vec<R>>> = (0..nchunks).map(|_| Mutex::new(Vec::new())).collect();
+        self.run(|scope| {
+            for (ci, slot) in slots.iter().enumerate() {
+                let f = &f;
+                let part = &items[ci * chunk..((ci + 1) * chunk).min(n)];
+                scope.spawn(move || {
+                    *slot.lock().unwrap() = part.iter().map(f).collect();
+                });
+            }
+        });
+        slots.into_iter().flat_map(|s| s.into_inner().unwrap()).collect()
+    }
+
+    /// Runs `f` over sub-ranges that partition `0..n` in order, sized for
+    /// the pool but never below `min_chunk`. `f` must treat every index
+    /// independently; on a serial pool it is called once with `0..n`.
+    pub fn par_chunks(&self, n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+        if n == 0 {
+            return;
+        }
+        if self.is_serial() {
+            f(0..n);
+            return;
+        }
+        let chunk = chunk_size(n, self.threads(), min_chunk);
+        self.run(|scope| {
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let f = &f;
+                scope.spawn(move || f(start..end));
+                start = end;
+            }
+        });
+    }
+
+    /// Maps `f` over the *fixed* decomposition of `0..n` into blocks of
+    /// `block` indices (the last one may be short), returning the block
+    /// results in block order.
+    ///
+    /// Because the decomposition depends only on `n` and `block` — never
+    /// on the thread count — folding the returned partials in order gives
+    /// reductions that are bit-identical on every pool size. This is the
+    /// primitive behind the deterministic parallel dot products in
+    /// `aims-linalg`.
+    pub fn par_map_blocks<R: Send>(
+        &self,
+        n: usize,
+        block: usize,
+        f: impl Fn(Range<usize>) -> R + Sync,
+    ) -> Vec<R> {
+        assert!(block > 0, "block size must be positive");
+        let nblocks = n.div_ceil(block);
+        let range = |b: usize| b * block..((b + 1) * block).min(n);
+        if self.is_serial() || nblocks <= 1 {
+            return (0..nblocks).map(|b| f(range(b))).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..nblocks).map(|_| Mutex::new(None)).collect();
+        self.run(|scope| {
+            for (b, slot) in slots.iter().enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    *slot.lock().unwrap() = Some(f(range(b)));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("block task did not run"))
+            .collect()
+    }
+}
+
+/// A raw view of a mutable slice that many tasks may read and write
+/// concurrently, provided they touch **disjoint** index sets.
+///
+/// The tensor-product DWT needs this: each axis pass rewrites strided
+/// lines of one flat buffer, and distinct lines never share an index, but
+/// the disjointness is arithmetic — invisible to the borrow checker.
+/// All access goes through raw pointers (no `&`/`&mut` reborrows), so
+/// disjoint concurrent use is sound.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is only through the unsafe `read`/`write`/`copy_from`
+// methods, whose contracts require callers to keep concurrent index sets
+// disjoint.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice. The borrow lasts for the view's lifetime, so
+    /// no safe references can alias it meanwhile.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Number of elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, and no other task may be concurrently
+    /// writing index `i`.
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).read() }
+    }
+
+    /// Writes `value` to element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, and no other task may be concurrently
+    /// reading or writing index `i`.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(value) }
+    }
+
+    /// Copies `src` into elements `start..start + src.len()`.
+    ///
+    /// # Safety
+    /// The destination range must be in bounds, and no other task may be
+    /// concurrently accessing any index in it.
+    pub unsafe fn copy_from(&self, start: usize, src: &[T])
+    where
+        T: Copy,
+    {
+        debug_assert!(start + src.len() <= self.len);
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<u64> = (0..1000).collect();
+            let mapped = pool.par_map(&items, |&x| x * 3 + 1);
+            assert!(mapped.iter().enumerate().all(|(i, &v)| v == i as u64 * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn par_chunks_partitions_exactly() {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        for threads in [1, 3] {
+            let pool = ThreadPool::new(threads);
+            let touched: Vec<AtomicU8> = (0..257).map(|_| AtomicU8::new(0)).collect();
+            pool.par_chunks(touched.len(), 1, |range| {
+                for i in range {
+                    touched[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(touched.iter().all(|t| t.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn par_map_blocks_decomposition_is_thread_count_independent() {
+        let expected: Vec<(usize, usize)> = vec![(0, 300), (300, 600), (600, 900), (900, 1000)];
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let blocks = pool.par_map_blocks(1000, 300, |r| (r.start, r.end));
+            assert_eq!(blocks, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shared_slice_disjoint_writes() {
+        let pool = ThreadPool::new(4);
+        let mut buf = vec![0u64; 4096];
+        {
+            let view = SharedSlice::new(&mut buf);
+            let view = &view;
+            pool.par_chunks(4096, 1, move |range| {
+                for i in range {
+                    // SAFETY: ranges from par_chunks partition 0..n.
+                    unsafe { view.write(i, i as u64 * 2) };
+                }
+            });
+        }
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+}

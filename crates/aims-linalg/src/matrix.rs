@@ -194,31 +194,44 @@ impl Matrix {
         Vector::from(out)
     }
 
-    /// Matrix product `self * other` (naive triple loop with row-major
-    /// locality on the accumulation).
+    /// Matrix product `self * other`, on the process-wide [`aims_exec`]
+    /// pool (see [`Matrix::matmul_with`]).
     ///
     /// # Panics
     /// If `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(aims_exec::global_pool(), other)
+    }
+
+    /// Matrix product on an explicit thread pool: a blocked, cache-friendly
+    /// kernel (k-panels that keep a stripe of `other` hot) with block rows
+    /// of the output fanned out across the pool. Every output row is
+    /// accumulated by one task in ascending-`k` order, so the result is
+    /// bit-identical for every pool size.
+    ///
+    /// # Panics
+    /// If `self.cols() != other.rows()`.
+    pub fn matmul_with(&self, pool: &aims_exec::ThreadPool, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _span = aims_telemetry::span!("linalg.matmul");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+        let cols = other.cols;
+        let flops = self.rows * self.cols * cols;
+        if pool.is_serial() || flops < 64 * 64 * 64 {
+            matmul_row_block(self, other, 0, &mut out.data);
+            return out;
         }
+        let rows_per = self.rows.div_ceil(pool.threads() * 4).max(1);
+        pool.run(|scope| {
+            for (ci, out_rows) in out.data.chunks_mut(rows_per * cols).enumerate() {
+                let r0 = ci * rows_per;
+                scope.spawn(move || matmul_row_block(self, other, r0, out_rows));
+            }
+        });
         out
     }
 
@@ -313,6 +326,32 @@ impl Matrix {
             }
         }
         true
+    }
+}
+
+/// Accumulates output rows `r0..r0 + out_rows.len() / b.cols` of `a * b`
+/// into `out_rows` (assumed zeroed). Blocked over `k` so a panel of `b`
+/// rows stays cache-hot across the block's output rows; for any fixed
+/// output element the contributions still arrive in ascending `k` order,
+/// making the kernel bit-identical to the naive `i→k→j` triple loop.
+fn matmul_row_block(a: &Matrix, b: &Matrix, r0: usize, out_rows: &mut [f64]) {
+    const K_PANEL: usize = 64;
+    let inner = a.cols;
+    let cols = b.cols;
+    for kb in (0..inner).step_by(K_PANEL) {
+        let kend = (kb + K_PANEL).min(inner);
+        for (ri, orow) in out_rows.chunks_mut(cols).enumerate() {
+            let arow = a.row(r0 + ri);
+            for (k, &aik) in arow.iter().enumerate().take(kend).skip(kb) {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
     }
 }
 

@@ -14,11 +14,25 @@ pub struct QrDecomposition {
 }
 
 impl QrDecomposition {
-    /// Computes the thin QR factorization of `a` by Householder reflections.
+    /// Computes the thin QR factorization of `a` by Householder reflections,
+    /// on the process-wide [`aims_exec`] pool.
     ///
     /// # Panics
     /// If `a.rows() < a.cols()` (wide matrices are not needed in AIMS).
     pub fn new(a: &Matrix) -> Self {
+        Self::new_with(aims_exec::global_pool(), a)
+    }
+
+    /// Computes the thin QR factorization of `a` on an explicit thread pool.
+    ///
+    /// The reflector application is restructured as a blocked, row-major
+    /// rank-1 update: one pass computes `d = vᵀR` from fixed-size row blocks
+    /// (partials folded in block order), one pass applies `R -= (2/vᵀv)·v dᵀ`
+    /// row by row. Each output row is owned by exactly one task and the
+    /// block decomposition never depends on the pool size, so the factors
+    /// are bit-identical for every thread count.
+    pub fn new_with(pool: &aims_exec::ThreadPool, a: &Matrix) -> Self {
+        let _span = aims_telemetry::span!("linalg.qr.decompose");
         let (m, n) = a.shape();
         assert!(m >= n, "QR requires rows >= cols, got {m}x{n}");
         // Work on a full copy; accumulate reflectors into an m×m identity,
@@ -26,11 +40,15 @@ impl QrDecomposition {
         let mut r = a.clone();
         let mut q_full = Matrix::identity(m);
 
+        // Fixed row-block length for the vᵀR pass; a single block (m ≤ 1024)
+        // reproduces the classic column-at-a-time accumulation order exactly.
+        const ROW_BLOCK: usize = 1024;
+
         for k in 0..n.min(m.saturating_sub(1)) {
             // Build the Householder vector for column k below the diagonal.
             let mut v = vec![0.0; m - k];
-            for i in k..m {
-                v[i - k] = r[(i, k)];
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = r[(k + i, k)];
             }
             let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if alpha.abs() < crate::EPS {
@@ -42,20 +60,70 @@ impl QrDecomposition {
                 continue;
             }
 
-            // Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and accumulate into Q.
-            for j in k..n {
-                let dot: f64 = (k..m).map(|i| v[i - k] * r[(i, j)]).sum();
-                let c = 2.0 * dot / vnorm_sq;
-                for i in k..m {
-                    r[(i, j)] -= c * v[i - k];
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R as a two-pass rank-1 update.
+            // Pass 1: d = vᵀ·R[k.., k..] from fixed row blocks, folded in
+            // block order.
+            let partials = pool.par_map_blocks(m - k, ROW_BLOCK, |rows| {
+                let mut d = vec![0.0; n - k];
+                for i in rows {
+                    let vi = v[i];
+                    for (dj, &rij) in d.iter_mut().zip(&r.row(k + i)[k..]) {
+                        *dj += vi * rij;
+                    }
+                }
+                d
+            });
+            let mut coeff = vec![0.0; n - k];
+            for part in partials {
+                for (cj, pj) in coeff.iter_mut().zip(part) {
+                    *cj += pj;
                 }
             }
-            for j in 0..m {
-                let dot: f64 = (k..m).map(|i| v[i - k] * q_full[(j, i)]).sum();
-                let c = 2.0 * dot / vnorm_sq;
-                for i in k..m {
-                    q_full[(j, i)] -= c * v[i - k];
-                }
+            for cj in &mut coeff {
+                *cj *= 2.0 / vnorm_sq;
+            }
+
+            // Pass 2: R[k+i, k+j] -= coeff[j]·v[i], parallel over contiguous
+            // row chunks (each row touched by exactly one task).
+            {
+                let rows_per = row_chunk(pool, m - k, n - k);
+                let tail = &mut r.as_mut_slice()[k * n..];
+                pool.run(|scope| {
+                    for (ci, rows) in tail.chunks_mut(rows_per * n).enumerate() {
+                        let v = &v;
+                        let coeff = &coeff;
+                        scope.spawn(move || {
+                            for (ri, row) in rows.chunks_mut(n).enumerate() {
+                                let vi = v[ci * rows_per + ri];
+                                for (slot, &cj) in row[k..].iter_mut().zip(coeff) {
+                                    *slot -= cj * vi;
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+
+            // Accumulate into Q: row j of Q is independent (contiguous dot
+            // then contiguous update), so rows parallelize bit-identically.
+            {
+                let rows_per = row_chunk(pool, m, m - k);
+                let qdata = q_full.as_mut_slice();
+                pool.run(|scope| {
+                    for qrows in qdata.chunks_mut(rows_per * m) {
+                        let v = &v;
+                        scope.spawn(move || {
+                            for qrow in qrows.chunks_mut(m) {
+                                let dot: f64 =
+                                    v.iter().zip(&qrow[k..]).map(|(&vi, &qv)| vi * qv).sum();
+                                let c = 2.0 * dot / vnorm_sq;
+                                for (slot, &vi) in qrow[k..].iter_mut().zip(v) {
+                                    *slot -= c * vi;
+                                }
+                            }
+                        });
+                    }
+                });
             }
         }
 
@@ -94,6 +162,14 @@ impl QrDecomposition {
         }
         Vector::from(x)
     }
+}
+
+/// Rows per task for the parallel update passes: a few chunks per thread,
+/// but at least ~8k touched elements per task so spawn overhead stays
+/// negligible on small factorizations.
+fn row_chunk(pool: &aims_exec::ThreadPool, nrows: usize, ncols: usize) -> usize {
+    let min_rows = (8192 / ncols.max(1)).max(1);
+    nrows.div_ceil(pool.threads().max(1) * 4).max(min_rows)
 }
 
 /// Solves the least-squares problem `min ‖A x − b‖₂` via thin QR.

@@ -53,16 +53,26 @@ impl Svd {
         Self::compute_with(a, SvdOptions::default())
     }
 
-    /// Computes the SVD of `a` with explicit convergence options.
+    /// Computes the SVD of `a` with explicit convergence options, on the
+    /// process-wide [`aims_exec`] pool.
+    pub fn compute_with(a: &Matrix, opts: SvdOptions) -> Self {
+        Self::compute_on(aims_exec::global_pool(), a, opts)
+    }
+
+    /// Computes the SVD of `a` on an explicit thread pool.
     ///
     /// Internally runs one-sided Jacobi on the tall orientation (transposing
     /// a wide input and swapping `U`/`V` back at the end), so the cost is
-    /// `O(max(m,n) · min(m,n)² · sweeps)`.
-    pub fn compute_with(a: &Matrix, opts: SvdOptions) -> Self {
+    /// `O(max(m,n) · min(m,n)² · sweeps)`. The working copy is stored
+    /// column-major so each rotation streams two contiguous vectors; the
+    /// column inner products use the fixed-block decomposition of
+    /// [`aims_exec::ThreadPool::par_map_blocks`] and the rotation itself is
+    /// elementwise, so results are bit-identical for every pool size.
+    pub fn compute_on(pool: &aims_exec::ThreadPool, a: &Matrix, opts: SvdOptions) -> Self {
         let _span = aims_telemetry::span!("linalg.svd.compute");
         let (m, n) = a.shape();
         if m < n {
-            let t = Self::compute_with(&a.transpose(), opts);
+            let t = Self::compute_on(pool, &a.transpose(), opts);
             return Svd { u: t.v, singular_values: t.singular_values, v: t.u };
         }
         if n == 0 {
@@ -72,24 +82,25 @@ impl Svd {
         // One-sided Jacobi: orthogonalize the columns of a working copy of A
         // by right-multiplying plane rotations; the accumulated rotations
         // form V, the column norms form Σ, and the normalized columns form U.
-        let mut w = a.clone();
-        let mut v = Matrix::identity(n);
+        // Both working arrays are transposed (row j = column j of the
+        // mathematical matrix) so rotations touch contiguous memory.
+        let mut wt = vec![0.0; n * m];
+        for i in 0..m {
+            for (j, &x) in a.row(i).iter().enumerate() {
+                wt[j * m + i] = x;
+            }
+        }
+        let mut vt = vec![0.0; n * n];
+        for j in 0..n {
+            vt[j * n + j] = 1.0;
+        }
 
         for _sweep in 0..opts.max_sweeps {
             let mut rotated = false;
             for p in 0..n {
                 for q in (p + 1)..n {
-                    // Column inner products.
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for i in 0..m {
-                        let wp = w[(i, p)];
-                        let wq = w[(i, q)];
-                        alpha += wp * wp;
-                        beta += wq * wq;
-                        gamma += wp * wq;
-                    }
+                    let (alpha, beta, gamma) =
+                        column_moments(pool, &wt[p * m..(p + 1) * m], &wt[q * m..(q + 1) * m]);
                     if gamma.abs() <= opts.tolerance * (alpha * beta).sqrt() || gamma == 0.0 {
                         continue;
                     }
@@ -102,18 +113,10 @@ impl Svd {
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
 
-                    for i in 0..m {
-                        let wp = w[(i, p)];
-                        let wq = w[(i, q)];
-                        w[(i, p)] = c * wp - s * wq;
-                        w[(i, q)] = s * wp + c * wq;
-                    }
-                    for i in 0..n {
-                        let vp = v[(i, p)];
-                        let vq = v[(i, q)];
-                        v[(i, p)] = c * vp - s * vq;
-                        v[(i, q)] = s * vp + c * vq;
-                    }
+                    let (wp, wq) = two_rows_mut(&mut wt, m, p, q);
+                    rotate_pair(pool, wp, wq, c, s);
+                    let (vp, vq) = two_rows_mut(&mut vt, n, p, q);
+                    rotate_pair(pool, vp, vq, c, s);
                 }
             }
             if !rotated {
@@ -122,8 +125,9 @@ impl Svd {
         }
 
         // Extract singular values (column norms) and left vectors.
-        let mut sigma: Vec<f64> =
-            (0..n).map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt()).collect();
+        let mut sigma: Vec<f64> = (0..n)
+            .map(|j| wt[j * m..(j + 1) * m].iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
 
         // Sort by descending singular value, permuting U's and V's columns.
         let mut order: Vec<usize> = (0..n).collect();
@@ -135,11 +139,11 @@ impl Svd {
         for (dst, &src) in order.iter().enumerate() {
             sigma_sorted[dst] = sigma[src];
             let s = sigma[src];
-            for i in 0..m {
-                u[(i, dst)] = if s > crate::EPS { w[(i, src)] / s } else { 0.0 };
+            for (i, &x) in wt[src * m..(src + 1) * m].iter().enumerate() {
+                u[(i, dst)] = if s > crate::EPS { x / s } else { 0.0 };
             }
-            for i in 0..n {
-                v_sorted[(i, dst)] = v[(i, src)];
+            for (i, &x) in vt[src * n..(src + 1) * n].iter().enumerate() {
+                v_sorted[(i, dst)] = x;
             }
         }
         sigma = sigma_sorted;
@@ -216,6 +220,64 @@ impl Svd {
         let kept: f64 = self.singular_values.iter().take(k).map(|s| s * s).sum();
         kept / total
     }
+}
+
+/// Fixed block length for the deterministic parallel column moments: the
+/// decomposition depends only on the vector length, never the pool size.
+const MOMENT_BLOCK: usize = 4096;
+
+/// Minimum rotation length worth fanning out; below this the spawn overhead
+/// dwarfs the arithmetic.
+const MIN_PAR_ROTATE: usize = 8192;
+
+/// Returns `(Σ wp², Σ wq², Σ wp·wq)` for two equal-length columns, reduced
+/// over fixed `MOMENT_BLOCK`-sized blocks folded in block order so the
+/// result is bit-identical for every pool size.
+fn column_moments(pool: &aims_exec::ThreadPool, wp: &[f64], wq: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(wp.len(), wq.len());
+    let partials = pool.par_map_blocks(wp.len(), MOMENT_BLOCK, |r| {
+        let mut alpha = 0.0;
+        let mut beta = 0.0;
+        let mut gamma = 0.0;
+        for (&x, &y) in wp[r.clone()].iter().zip(&wq[r]) {
+            alpha += x * x;
+            beta += y * y;
+            gamma += x * y;
+        }
+        (alpha, beta, gamma)
+    });
+    partials.into_iter().fold((0.0, 0.0, 0.0), |(a, b, g), (pa, pb, pg)| (a + pa, b + pb, g + pg))
+}
+
+/// Disjoint mutable views of rows `p < q` of a row-major `len`-wide array.
+fn two_rows_mut(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < q);
+    let (head, tail) = data.split_at_mut(q * len);
+    (&mut head[p * len..(p + 1) * len], &mut tail[..len])
+}
+
+/// Applies the plane rotation `[c -s; s c]` to the column pair in place.
+/// Purely elementwise, so the parallel split cannot change any result bit.
+fn rotate_pair(pool: &aims_exec::ThreadPool, wp: &mut [f64], wq: &mut [f64], c: f64, s: f64) {
+    debug_assert_eq!(wp.len(), wq.len());
+    let rotate = |cp: &mut [f64], cq: &mut [f64]| {
+        for (xp, xq) in cp.iter_mut().zip(cq.iter_mut()) {
+            let a = *xp;
+            let b = *xq;
+            *xp = c * a - s * b;
+            *xq = s * a + c * b;
+        }
+    };
+    if pool.is_serial() || wp.len() < MIN_PAR_ROTATE {
+        rotate(wp, wq);
+        return;
+    }
+    pool.run(|scope| {
+        for (cp, cq) in wp.chunks_mut(MOMENT_BLOCK).zip(wq.chunks_mut(MOMENT_BLOCK)) {
+            let rotate = &rotate;
+            scope.spawn(move || rotate(cp, cq));
+        }
+    });
 }
 
 #[cfg(test)]

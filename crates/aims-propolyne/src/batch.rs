@@ -11,6 +11,9 @@
 
 use std::collections::{HashMap, HashSet};
 
+use aims_exec::{global_pool, ThreadPool};
+use aims_telemetry::global as telemetry;
+
 use crate::engine::{PreparedQuery, Propolyne};
 use crate::query::RangeSumQuery;
 
@@ -37,27 +40,74 @@ impl BatchResult {
 }
 
 /// Evaluates a set of related queries with one shared coefficient fetch
-/// plan.
+/// plan, on the process-wide [`aims_exec`] pool.
 pub fn evaluate_batch(engine: &Propolyne, queries: &[RangeSumQuery]) -> BatchResult {
-    assert!(!queries.is_empty(), "empty batch");
-    let prepared: Vec<PreparedQuery> = queries.iter().map(|q| engine.prepare(q)).collect();
+    evaluate_batch_with(global_pool(), engine, queries)
+}
 
-    // Union of needed coefficients = the shared fetch set.
-    let mut needed: HashSet<usize> = HashSet::new();
-    let mut independent = 0usize;
-    for p in &prepared {
-        independent += p.nnz();
-        needed.extend(p.entries.iter().map(|&(i, _)| i));
+/// [`evaluate_batch`] on an explicit thread pool. Three parallel stages:
+/// per-query `prepare` fans out across the pool, the fetch-set union is
+/// built from per-shard `HashSet`s merged once, and the per-query inner
+/// products evaluate concurrently against the shared sorted fetch plan.
+/// Each query is prepared and evaluated by exactly one task, so answers
+/// are bit-identical to the serial path for every pool size.
+pub fn evaluate_batch_with(
+    pool: &ThreadPool,
+    engine: &Propolyne,
+    queries: &[RangeSumQuery],
+) -> BatchResult {
+    assert!(!queries.is_empty(), "empty batch");
+    let _span = aims_telemetry::span!("propolyne.batch.evaluate");
+    let prepared: Vec<PreparedQuery> = pool.par_map(queries, |q| engine.prepare(q));
+    let independent: usize = prepared.iter().map(|p| p.nnz()).sum();
+
+    // Union of needed coefficients = the shared fetch set: sharded
+    // per-chunk sets, merged once (the merge order cannot matter for a
+    // set union, and the plan below is sorted, so the result is
+    // deterministic regardless of sharding).
+    let shard = prepared.len().div_ceil(pool.threads() * 2).max(1);
+    let shards: Vec<HashSet<usize>> = pool.par_map_blocks(prepared.len(), shard, |range| {
+        let mut set = HashSet::new();
+        for p in &prepared[range] {
+            set.extend(p.entries.iter().map(|&(i, _)| i));
+        }
+        set
+    });
+    let mut shards = shards.into_iter();
+    let mut needed = shards.next().unwrap_or_default();
+    for s in shards {
+        needed.extend(s);
     }
 
-    // "Fetch" the union once.
+    // "Fetch" the union once, as a plan sorted by coefficient index so the
+    // evaluation loop below is an allocation-free sorted merge.
     let coeffs = engine.cube().coeffs();
-    let fetched: HashMap<usize, f64> = needed.iter().map(|&i| (i, coeffs[i])).collect();
+    let mut plan: Vec<(usize, f64)> = needed.iter().map(|&i| (i, coeffs[i])).collect();
+    plan.sort_unstable_by_key(|&(i, _)| i);
 
-    let answers =
-        prepared.iter().map(|p| p.entries.iter().map(|&(i, w)| w * fetched[&i]).sum()).collect();
+    let answers: Vec<f64> = pool.par_map(&prepared, |p| dot_sorted(&p.entries, &plan));
+    telemetry().counter("propolyne.batch.queries").add(queries.len() as u64);
+    telemetry().counter("propolyne.batch.shared_fetches").add(plan.len() as u64);
+    BatchResult { answers, shared_fetches: plan.len(), independent_fetches: independent }
+}
 
-    BatchResult { answers, shared_fetches: needed.len(), independent_fetches: independent }
+/// Inner product of a prepared query against the shared fetch plan. Both
+/// sides are strictly increasing in coefficient index and the plan is a
+/// superset of the query's support, so a single two-pointer merge replaces
+/// the per-entry hash lookup — no allocation, no hashing, accumulation in
+/// the same entry order as independent evaluation.
+fn dot_sorted(entries: &[(usize, f64)], plan: &[(usize, f64)]) -> f64 {
+    let mut acc = 0.0;
+    let mut cursor = 0usize;
+    for &(i, w) in entries {
+        while plan[cursor].0 < i {
+            cursor += 1;
+        }
+        debug_assert_eq!(plan[cursor].0, i, "fetch plan missing coefficient {i}");
+        acc += w * plan[cursor].1;
+        cursor += 1;
+    }
+    acc
 }
 
 /// Which error measure a progressive batch run optimizes (§3.3.1: "for
@@ -115,7 +165,10 @@ pub fn progressive_batch(
     norm: BatchErrorNorm,
 ) -> BatchProgressive {
     assert!(!queries.is_empty(), "empty batch");
-    let prepared: Vec<PreparedQuery> = queries.iter().map(|q| engine.prepare(q)).collect();
+    let _span = aims_telemetry::span!("propolyne.batch.progressive");
+    // The fetch-order search below is inherently sequential, but the
+    // per-query transforms still fan out.
+    let prepared: Vec<PreparedQuery> = global_pool().par_map(queries, |q| engine.prepare(q));
     let coeffs = engine.cube().coeffs();
 
     // Per-coefficient contribution to each query.
