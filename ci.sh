@@ -30,9 +30,18 @@ AIMS_THREADS=1 cargo test -q
 echo "== cargo test (AIMS_THREADS=4, pooled execution layer) =="
 AIMS_THREADS=4 cargo test -q
 
+echo "== fault matrix (pinned seed 13) =="
+AIMS_FAULT_SEED=13 cargo test -q --test fault_matrix
+
+echo "== fault matrix (pinned seed 1013) =="
+AIMS_FAULT_SEED=1013 cargo test -q --test fault_matrix
+
 if [[ $fast -eq 0 ]]; then
     echo "== bench_parallel (E24 serial-vs-parallel, bit-identical gate) =="
     cargo run --release -q -p aims-bench --bin experiments -- e24
+
+    echo "== bench_faults (E25 degraded-query error-vs-loss gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e25
 fi
 
 echo "CI OK"

@@ -7,7 +7,7 @@
 //!   cargo run --release -p aims-bench --bin experiments -- e9 e13  # some
 
 use aims_bench::{
-    exp_acquisition, exp_adhd, exp_extensions, exp_online, exp_parallel, exp_propolyne,
+    exp_acquisition, exp_adhd, exp_extensions, exp_faults, exp_online, exp_parallel, exp_propolyne,
     exp_storage, exp_system,
 };
 
@@ -38,6 +38,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e22", exp_extensions::e22_random_projection),
     ("e23", exp_extensions::e23_packet_basis),
     ("e24", exp_parallel::e24_parallel_speedup),
+    ("e25", exp_faults::e25_fault_degradation),
 ];
 
 fn main() {

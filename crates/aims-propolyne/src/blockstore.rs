@@ -1,0 +1,335 @@
+//! Device-backed coefficient retrieval for ProPolyne queries.
+//!
+//! The in-memory engine ([`crate::engine::Propolyne`]) evaluates prepared
+//! queries against a dense coefficient slice. This module is the fetch
+//! path the AIMS storage design implies: cube coefficients live on a
+//! [`BlockDevice`] in checksummed blocks, queries pull only the blocks
+//! their sparse entries touch through a [`BufferPool`], and storage
+//! faults degrade the answer instead of failing it — missing
+//! coefficients contribute zero and the answer carries a guaranteed
+//! error bound (Cauchy–Schwarz against the lost blocks' load-time
+//! energy).
+//!
+//! With a healthy device, [`BlockedCoefficients::evaluate_degraded`]
+//! accumulates the same entries in the same order as
+//! [`crate::engine::Propolyne::evaluate_prepared`], so the result is
+//! bit-identical to the in-memory path.
+
+use aims_storage::buffer::BufferPool;
+use aims_storage::device::{BlockDevice, MemDevice, RetryPolicy};
+use aims_telemetry::global;
+
+use crate::engine::PreparedQuery;
+
+/// Cube coefficients stored sequentially on a block device
+/// (`coefficient i → block i / B, offset i % B`), with a load-time
+/// per-block energy catalog for degraded error bounds.
+#[derive(Debug)]
+pub struct BlockedCoefficients<D: BlockDevice = MemDevice> {
+    device: D,
+    block_size: usize,
+    n: usize,
+    /// `Σ c²` per block, captured at load time.
+    block_energy: Vec<f64>,
+}
+
+/// A query answer served from (possibly faulty) blocked storage.
+#[derive(Clone, Debug)]
+pub struct DegradedAnswer {
+    /// The (possibly partial) inner product.
+    pub estimate: f64,
+    /// Guaranteed bound on `|estimate − exact|`; `0.0` when nothing was
+    /// lost.
+    pub error_bound: f64,
+    /// Distinct blocks that stayed unreadable after retries.
+    pub lost_blocks: Vec<usize>,
+    /// Query entries whose coefficient could not be retrieved.
+    pub missing_coefficients: usize,
+}
+
+impl DegradedAnswer {
+    /// Whether any block was lost.
+    pub fn degraded(&self) -> bool {
+        !self.lost_blocks.is_empty()
+    }
+}
+
+/// One step of a progressive evaluation over blocked storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradedStep {
+    /// Query coefficients consumed so far (including missing ones).
+    pub coefficients_used: usize,
+    /// Running estimate.
+    pub estimate: f64,
+    /// Guaranteed bound: unseen-suffix term plus lost-block term.
+    pub guaranteed_bound: f64,
+}
+
+impl BlockedCoefficients<MemDevice> {
+    /// Loads a coefficient vector onto a fresh in-memory device.
+    pub fn new(coeffs: &[f64], block_size: usize) -> Self {
+        BlockedCoefficients::on_device(coeffs, block_size, MemDevice::new)
+    }
+}
+
+impl<D: BlockDevice> BlockedCoefficients<D> {
+    /// Loads a coefficient vector onto a device built by
+    /// `make(block_size, num_blocks)` — the hook for fault-injected
+    /// devices. The vector is padded with zeros to a whole number of
+    /// blocks.
+    pub fn on_device(
+        coeffs: &[f64],
+        block_size: usize,
+        make: impl FnOnce(usize, usize) -> D,
+    ) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(!coeffs.is_empty(), "cannot store an empty coefficient vector");
+        let num_blocks = coeffs.len().div_ceil(block_size);
+        let mut device = make(block_size, num_blocks);
+        assert!(device.block_size() == block_size, "device block size mismatch");
+        assert!(device.num_blocks() >= num_blocks, "device too small");
+        let mut block_energy = Vec::with_capacity(num_blocks);
+        let mut staged = vec![0.0; block_size];
+        for b in 0..num_blocks {
+            staged.iter_mut().for_each(|v| *v = 0.0);
+            let start = b * block_size;
+            let end = (start + block_size).min(coeffs.len());
+            staged[..end - start].copy_from_slice(&coeffs[start..end]);
+            block_energy.push(staged.iter().map(|c| c * c).sum());
+            device.write_block(b, &staged);
+        }
+        device.reset_stats();
+        BlockedCoefficients { device, block_size, n: coeffs.len(), block_energy }
+    }
+
+    /// Coefficient count (unpadded).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Blocked stores are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The backing device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Total stored energy `Σ c²` (from the load-time catalog).
+    pub fn data_energy(&self) -> f64 {
+        self.block_energy.iter().sum()
+    }
+
+    /// Evaluates a prepared query against the device, retrying transient
+    /// faults under `policy` and degrading when blocks stay unreadable.
+    ///
+    /// Entries are accumulated in the prepared order (ascending offset),
+    /// exactly like `Propolyne::evaluate_prepared`, so a fault-free run
+    /// is bit-identical to the in-memory engine.
+    pub fn evaluate_degraded(
+        &self,
+        prepared: &PreparedQuery,
+        pool: &mut BufferPool,
+        policy: &RetryPolicy,
+    ) -> DegradedAnswer {
+        let mut lost_blocks: Vec<usize> = Vec::new();
+        let mut missing = 0usize;
+        let mut lost_w2 = 0.0;
+        let mut estimate = 0.0;
+        for &(i, w) in &prepared.entries {
+            assert!(i < self.n, "query offset {i} out of range");
+            let b = i / self.block_size;
+            if lost_blocks.contains(&b) {
+                missing += 1;
+                lost_w2 += w * w;
+                continue;
+            }
+            match pool.get_with_retry(&self.device, b, policy) {
+                Ok(data) => estimate += w * data[i % self.block_size],
+                Err(_) => {
+                    global().counter("storage.degraded").inc();
+                    lost_blocks.push(b);
+                    missing += 1;
+                    lost_w2 += w * w;
+                }
+            }
+        }
+        let lost_e2: f64 = lost_blocks.iter().map(|&b| self.block_energy[b]).sum();
+        lost_blocks.sort_unstable();
+        DegradedAnswer {
+            estimate,
+            error_bound: (lost_w2 * lost_e2).sqrt(),
+            lost_blocks,
+            missing_coefficients: missing,
+        }
+    }
+
+    /// Progressive evaluation over blocked storage: query coefficients
+    /// are consumed most-important-first; each step's guaranteed bound is
+    /// the unseen-suffix Cauchy–Schwarz term plus the lost-block term.
+    pub fn progressive_degraded(
+        &self,
+        prepared: &PreparedQuery,
+        pool: &mut BufferPool,
+        policy: &RetryPolicy,
+    ) -> Vec<DegradedStep> {
+        let mut order: Vec<(usize, f64)> = prepared.entries.clone();
+        order.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+
+        let mut suffix_energy = vec![0.0; order.len() + 1];
+        for (i, &(_, w)) in order.iter().enumerate().rev() {
+            suffix_energy[i] = suffix_energy[i + 1] + w * w;
+        }
+        let data_energy = self.data_energy();
+
+        let mut lost_blocks: Vec<usize> = Vec::new();
+        let mut lost_w2 = 0.0;
+        let mut lost_e2 = 0.0;
+        let mut estimate = 0.0;
+        let mut steps = Vec::with_capacity(order.len());
+        for (k, &(i, w)) in order.iter().enumerate() {
+            assert!(i < self.n, "query offset {i} out of range");
+            let b = i / self.block_size;
+            let mut lost = lost_blocks.contains(&b);
+            if !lost {
+                match pool.get_with_retry(&self.device, b, policy) {
+                    Ok(data) => estimate += w * data[i % self.block_size],
+                    Err(_) => {
+                        global().counter("storage.degraded").inc();
+                        lost_blocks.push(b);
+                        lost_e2 += self.block_energy[b];
+                        lost = true;
+                    }
+                }
+            }
+            if lost {
+                lost_w2 += w * w;
+            }
+            steps.push(DegradedStep {
+                coefficients_used: k + 1,
+                estimate,
+                guaranteed_bound: (suffix_energy[k + 1] * data_energy).sqrt()
+                    + (lost_w2 * lost_e2).sqrt(),
+            });
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::DataCube;
+    use crate::engine::Propolyne;
+    use crate::query::RangeSumQuery;
+    use aims_dsp::filters::FilterKind;
+    use aims_storage::faults::{FaultKind, FaultPlan, FaultyDevice};
+
+    fn engine_and_store() -> (Propolyne, BlockedCoefficients) {
+        let mut cube = DataCube::zeros(&[32, 32]);
+        let mut state = 41u64;
+        for v in cube.values_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state % 9) as f64;
+        }
+        let wc = cube.transform(&FilterKind::Db4.filter());
+        let blocked = BlockedCoefficients::new(wc.coeffs(), 16);
+        (Propolyne::new(wc), blocked)
+    }
+
+    #[test]
+    fn clean_device_is_bit_identical_to_in_memory_engine() {
+        let (engine, blocked) = engine_and_store();
+        let mut pool = BufferPool::new(64);
+        for q in [
+            RangeSumQuery::count(vec![(0, 31), (0, 31)]),
+            RangeSumQuery::count(vec![(3, 25), (7, 19)]),
+            RangeSumQuery::count(vec![(16, 16), (0, 30)]),
+        ] {
+            let prepared = engine.prepare(&q);
+            let expect = engine.evaluate_prepared(&prepared);
+            let got = blocked.evaluate_degraded(&prepared, &mut pool, &RetryPolicy::none());
+            assert_eq!(got.estimate.to_bits(), expect.to_bits());
+            assert_eq!(got.error_bound, 0.0);
+            assert!(!got.degraded());
+        }
+    }
+
+    #[test]
+    fn lost_blocks_degrade_with_honored_bound() {
+        let (engine, reference) = engine_and_store();
+        let coeffs: Vec<f64> = {
+            let mut pool = BufferPool::new(256);
+            (0..reference.len())
+                .map(|i| pool.get(reference.device(), i / 16).unwrap()[i % 16])
+                .collect()
+        };
+        let blocked = BlockedCoefficients::on_device(&coeffs, 16, |bs, nb| {
+            FaultyDevice::with_plan(bs, nb, FaultPlan::uniform(19, FaultKind::DeadBlock, 0.2))
+        });
+        let mut degraded_seen = 0;
+        for q in [
+            RangeSumQuery::count(vec![(0, 31), (0, 31)]),
+            RangeSumQuery::count(vec![(1, 30), (2, 29)]),
+            RangeSumQuery::count(vec![(5, 28), (0, 15)]),
+            RangeSumQuery::count(vec![(0, 20), (10, 31)]),
+        ] {
+            let prepared = engine.prepare(&q);
+            let exact = engine.evaluate_prepared(&prepared);
+            let mut pool = BufferPool::new(256);
+            let got = blocked.evaluate_degraded(&prepared, &mut pool, &RetryPolicy::none());
+            assert!(
+                (got.estimate - exact).abs() <= got.error_bound + 1e-9,
+                "|{} − {exact}| > {}",
+                got.estimate,
+                got.error_bound
+            );
+            if got.degraded() {
+                degraded_seen += 1;
+                assert!(got.missing_coefficients > 0);
+            }
+        }
+        assert!(degraded_seen > 0, "20% dead blocks should degrade something");
+    }
+
+    #[test]
+    fn progressive_bound_holds_at_every_step() {
+        let (engine, _) = engine_and_store();
+        let coeffs: Vec<f64> = engine.cube().coeffs().to_vec();
+        let blocked = BlockedCoefficients::on_device(&coeffs, 16, |bs, nb| {
+            FaultyDevice::with_plan(bs, nb, FaultPlan::uniform(23, FaultKind::DeadBlock, 0.15))
+        });
+        let q = RangeSumQuery::count(vec![(2, 29), (4, 27)]);
+        let prepared = engine.prepare(&q);
+        let exact = engine.evaluate_prepared(&prepared);
+        let mut pool = BufferPool::new(256);
+        let steps = blocked.progressive_degraded(&prepared, &mut pool, &RetryPolicy::none());
+        assert_eq!(steps.len(), prepared.nnz());
+        for s in &steps {
+            assert!(
+                (s.estimate - exact).abs() <= s.guaranteed_bound + 1e-6 * exact.abs().max(1.0),
+                "step {}: |{} − {exact}| > {}",
+                s.coefficients_used,
+                s.estimate,
+                s.guaranteed_bound
+            );
+        }
+    }
+
+    #[test]
+    fn progressive_clean_final_step_matches_exact() {
+        let (engine, blocked) = engine_and_store();
+        let q = RangeSumQuery::count(vec![(0, 31), (5, 20)]);
+        let prepared = engine.prepare(&q);
+        let exact = engine.evaluate_prepared(&prepared);
+        let mut pool = BufferPool::new(256);
+        let steps = blocked.progressive_degraded(&prepared, &mut pool, &RetryPolicy::none());
+        let last = steps.last().unwrap();
+        assert!((last.estimate - exact).abs() < 1e-9);
+        assert!(last.guaranteed_bound < 1e-9);
+    }
+}

@@ -24,10 +24,14 @@
 //! - [`hybrid`]: the standard-basis/wavelet-basis hybrid of §3.3.1.
 //! - [`batch`]: multi-query (group-by / drill-down) evaluation with shared
 //!   coefficient retrieval (§3.3.1).
+//! - [`blockstore`]: device-backed coefficient retrieval — cube
+//!   coefficients on a checksummed block device with retry and graceful
+//!   degradation under storage faults.
 //! - [`packet`]: the wavelet-packet generalization — per-dimension best
 //!   bases from the DWPT library (§3.3.1).
 
 pub mod batch;
+pub mod blockstore;
 pub mod cube;
 pub mod engine;
 pub mod hybrid;
@@ -37,6 +41,7 @@ pub mod query;
 pub mod stats;
 pub mod synopsis;
 
+pub use blockstore::{BlockedCoefficients, DegradedAnswer, DegradedStep};
 pub use cube::{DataCube, WaveletCube};
 pub use engine::{ProgressiveEvaluation, Propolyne};
 pub use lazy::{lazy_transform, HybridSignal, SparseVector};

@@ -1,14 +1,21 @@
 //! Batch evaluation must be bit-identical across pool sizes, and the
 //! sorted-merge shared-fetch path must agree with independent evaluation.
+//! The blocked-storage fetch path (plain and zero-fault-wrapped) must be
+//! bit-identical to the in-memory engine; ci.sh runs this file under
+//! `AIMS_THREADS=1` and `=4`.
 
 use proptest::prelude::*;
 
 use aims_dsp::filters::FilterKind;
 use aims_exec::ThreadPool;
 use aims_propolyne::batch::{drill_down_queries, evaluate_batch_with};
+use aims_propolyne::blockstore::BlockedCoefficients;
 use aims_propolyne::cube::DataCube;
 use aims_propolyne::engine::Propolyne;
 use aims_propolyne::query::RangeSumQuery;
+use aims_storage::buffer::BufferPool;
+use aims_storage::device::{BlockDevice, RetryPolicy};
+use aims_storage::faults::{FaultPlan, FaultyDevice};
 
 fn filter_strategy() -> impl Strategy<Value = FilterKind> {
     prop_oneof![
@@ -73,5 +80,45 @@ proptest! {
                 "batch {} vs solo {}", got, solo
             );
         }
+    }
+
+    /// The blocked-storage fetch path — on a plain device and on a
+    /// zero-fault `FaultyDevice` — is bit-identical to the in-memory
+    /// engine for the same prepared query.
+    #[test]
+    fn blocked_fetch_bit_identical_to_in_memory(
+        cells in prop::collection::vec(-7.0_f64..7.0, 256),
+        (l0, h0) in (0usize..16, 0usize..16),
+        (l1, h1) in (0usize..16, 0usize..16),
+        kind in filter_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut cube = DataCube::zeros(&[16, 16]);
+        cube.values_mut().copy_from_slice(&cells);
+        let engine = Propolyne::new(cube.transform(&kind.filter()));
+        let q = RangeSumQuery::count(vec![
+            (l0.min(h0), l0.max(h0)),
+            (l1.min(h1), l1.max(h1)),
+        ]);
+        let prepared = engine.prepare(&q);
+        let expect = engine.evaluate_prepared(&prepared);
+
+        let coeffs = engine.cube().coeffs();
+        let plain = BlockedCoefficients::new(coeffs, 16);
+        let wrapped = BlockedCoefficients::on_device(coeffs, 16, |bs, nb| {
+            FaultyDevice::with_plan(bs, nb, FaultPlan::none(seed))
+        });
+        let mut p1 = BufferPool::new(32);
+        let mut p2 = BufferPool::new(32);
+        let a = plain.evaluate_degraded(&prepared, &mut p1, &RetryPolicy::none());
+        let b = wrapped.evaluate_degraded(&prepared, &mut p2, &RetryPolicy::default());
+        prop_assert_eq!(a.estimate.to_bits(), expect.to_bits(), "plain device diverged");
+        prop_assert_eq!(b.estimate.to_bits(), expect.to_bits(), "zero-fault wrapper diverged");
+        prop_assert!(!a.degraded() && !b.degraded());
+        prop_assert_eq!(
+            plain.device().stats().reads,
+            wrapped.device().stats().reads,
+            "wrapper added I/O"
+        );
     }
 }

@@ -7,13 +7,19 @@
 //! cached block cost no device read. Hit/miss counters let experiments
 //! attribute I/O savings to the allocation strategy rather than to cache
 //! size.
+//!
+//! The pool is also where the fault-tolerant read path lives:
+//! [`BufferPool::get_with_retry`] retries transient device failures under
+//! a [`RetryPolicy`] with exponential backoff, recording
+//! `storage.retries` and `storage.corrupt` in the telemetry registry.
+//! Only verified (checksum-clean) payloads ever enter the cache.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use aims_telemetry::{global, Counter, Gauge};
 
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, ReadError, ReadErrorKind, RetryPolicy};
 
 /// Cached handles to the global `storage.pool.*` metrics. Every pool in
 /// the process records into the same counters; the gauge tracks the
@@ -23,6 +29,8 @@ struct PoolTelemetry {
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
     hit_ratio: Arc<Gauge>,
+    retries: Arc<Counter>,
+    corrupt: Arc<Counter>,
 }
 
 fn pool_telemetry() -> &'static PoolTelemetry {
@@ -34,6 +42,8 @@ fn pool_telemetry() -> &'static PoolTelemetry {
             misses: r.counter("storage.pool.misses"),
             evictions: r.counter("storage.pool.evictions"),
             hit_ratio: r.gauge("storage.pool.hit_ratio"),
+            retries: r.counter("storage.retries"),
+            corrupt: r.counter("storage.corrupt"),
         }
     })
 }
@@ -102,22 +112,62 @@ impl BufferPool {
         BufferPool { capacity, cache: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
     }
 
-    /// Fetches a block through the cache.
-    pub fn get(&mut self, device: &BlockDevice, id: usize) -> Vec<f64> {
+    /// Fetches a block through the cache with no retries (a single device
+    /// attempt). Returns a borrow of the cached payload, valid until the
+    /// next `&mut self` call.
+    pub fn get<'p, D: BlockDevice + ?Sized>(
+        &'p mut self,
+        device: &D,
+        id: usize,
+    ) -> Result<&'p [f64], ReadError> {
+        self.get_with_retry(device, id, &RetryPolicy::none())
+    }
+
+    /// Fetches a block through the cache, retrying transient device
+    /// failures under `policy`. Each retry increments `storage.retries`;
+    /// checksum mismatches increment `storage.corrupt`. Dead blocks fail
+    /// immediately (no retry can help them).
+    pub fn get_with_retry<'p, D: BlockDevice + ?Sized>(
+        &'p mut self,
+        device: &D,
+        id: usize,
+        policy: &RetryPolicy,
+    ) -> Result<&'p [f64], ReadError> {
         let telemetry = pool_telemetry();
         self.tick += 1;
         let tick = self.tick;
-        if let Some((data, last)) = self.cache.get_mut(&id) {
+        if let Some((_, last)) = self.cache.get_mut(&id) {
             *last = tick;
-            let data = data.clone();
             self.hits += 1;
             telemetry.hits.inc();
             publish_hit_ratio(telemetry);
-            return data;
+            return Ok(&self.cache[&id].0);
         }
         self.misses += 1;
         telemetry.misses.inc();
-        let data = device.read_block(id);
+        publish_hit_ratio(telemetry);
+
+        let mut attempt = 0usize;
+        let data = loop {
+            match device.read_block(id) {
+                Ok(data) => break data,
+                Err(e) => {
+                    if e.kind == ReadErrorKind::Corrupt {
+                        telemetry.corrupt.inc();
+                    }
+                    // Dead blocks are permanent; exhausted budgets give up.
+                    if e.kind == ReadErrorKind::Dead || attempt >= policy.retries {
+                        return Err(e);
+                    }
+                    telemetry.retries.inc();
+                    let pause = policy.backoff_for(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+            }
+        };
         if self.cache.len() >= self.capacity {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, last))| *last) {
@@ -126,9 +176,8 @@ impl BufferPool {
                 telemetry.evictions.inc();
             }
         }
-        self.cache.insert(id, (data.clone(), tick));
-        publish_hit_ratio(telemetry);
-        data
+        self.cache.insert(id, (data, tick));
+        Ok(&self.cache[&id].0)
     }
 
     /// Drops all cached blocks (keeps statistics).
@@ -165,9 +214,11 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::MemDevice;
+    use crate::faults::{FaultKind, FaultPlan, FaultyDevice};
 
-    fn device() -> BlockDevice {
-        let mut d = BlockDevice::new(2, 4);
+    fn device() -> MemDevice {
+        let mut d = MemDevice::new(2, 4);
         for i in 0..4 {
             d.write_block(i, &[i as f64, i as f64 + 0.5]);
         }
@@ -179,8 +230,8 @@ mod tests {
     fn hits_avoid_device_reads() {
         let d = device();
         let mut pool = BufferPool::new(2);
-        assert_eq!(pool.get(&d, 0), vec![0.0, 0.5]);
-        assert_eq!(pool.get(&d, 0), vec![0.0, 0.5]);
+        assert_eq!(pool.get(&d, 0).unwrap(), &[0.0, 0.5]);
+        assert_eq!(pool.get(&d, 0).unwrap(), &[0.0, 0.5]);
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(d.stats().reads, 1);
@@ -196,13 +247,13 @@ mod tests {
     fn lru_evicts_least_recent() {
         let d = device();
         let mut pool = BufferPool::new(2);
-        pool.get(&d, 0);
-        pool.get(&d, 1);
-        pool.get(&d, 0); // 0 is now most recent
-        pool.get(&d, 2); // evicts 1
+        pool.get(&d, 0).unwrap();
+        pool.get(&d, 1).unwrap();
+        pool.get(&d, 0).unwrap(); // 0 is now most recent
+        pool.get(&d, 2).unwrap(); // evicts 1
         assert_eq!(pool.stats().evictions, 1);
-        pool.get(&d, 0); // hit
-        pool.get(&d, 1); // miss again
+        pool.get(&d, 0).unwrap(); // hit
+        pool.get(&d, 1).unwrap(); // miss again
         assert_eq!(pool.stats().hits, 2);
         assert_eq!(pool.stats().misses, 4);
     }
@@ -211,11 +262,11 @@ mod tests {
     fn clear_keeps_stats() {
         let d = device();
         let mut pool = BufferPool::new(4);
-        pool.get(&d, 0);
+        pool.get(&d, 0).unwrap();
         pool.clear();
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats().misses, 1);
-        pool.get(&d, 0);
+        pool.get(&d, 0).unwrap();
         assert_eq!(pool.stats().misses, 2);
     }
 
@@ -229,11 +280,53 @@ mod tests {
         let d = device();
         let before = aims_telemetry::global().snapshot();
         let mut pool = BufferPool::new(2);
-        pool.get(&d, 0);
-        pool.get(&d, 0);
+        pool.get(&d, 0).unwrap();
+        pool.get(&d, 0).unwrap();
         let after = aims_telemetry::global().snapshot();
         assert!(after.counter("storage.pool.hits") > before.counter("storage.pool.hits"));
         assert!(after.counter("storage.pool.misses") > before.counter("storage.pool.misses"));
         assert!(after.gauge("storage.pool.hit_ratio").is_some());
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults_within_budget() {
+        let seed = 21u64;
+        let mut faulty =
+            FaultyDevice::with_plan(2, 4, FaultPlan::uniform(seed, FaultKind::ReadError, 0.7));
+        for i in 0..4 {
+            faulty.write_block(i, &[i as f64, i as f64 + 0.5]);
+        }
+        for id in 0..4 {
+            let planned = faulty.planned_read_failures(id);
+            assert!(planned < 4096);
+            let mut pool = BufferPool::new(4);
+            let policy = RetryPolicy { retries: planned, ..RetryPolicy::none() };
+            let got = pool.get_with_retry(&faulty, id, &policy).unwrap().to_vec();
+            assert_eq!(got, vec![id as f64, id as f64 + 0.5]);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_error() {
+        let mut faulty =
+            FaultyDevice::with_plan(2, 2, FaultPlan::uniform(5, FaultKind::BitFlip, 1.0));
+        faulty.write_block(0, &[1.0, 2.0]);
+        let mut pool = BufferPool::new(2);
+        let err = pool.get_with_retry(&faulty, 0, &RetryPolicy::with_retries(2)).unwrap_err();
+        assert_eq!(err.kind, ReadErrorKind::Corrupt);
+        assert_eq!(err.block, 0);
+        assert_eq!(pool.resident(), 0, "corrupt payloads must never enter the cache");
+    }
+
+    #[test]
+    fn dead_blocks_fail_fast_without_retries() {
+        let faulty =
+            FaultyDevice::with_plan(2, 4, FaultPlan::uniform(5, FaultKind::DeadBlock, 1.0));
+        let before = aims_telemetry::global().counter("storage.retries").get();
+        let mut pool = BufferPool::new(2);
+        let err = pool.get_with_retry(&faulty, 1, &RetryPolicy::with_retries(50)).unwrap_err();
+        assert_eq!(err.kind, ReadErrorKind::Dead);
+        let after = aims_telemetry::global().counter("storage.retries").get();
+        assert_eq!(after, before, "dead blocks must not burn the retry budget");
     }
 }

@@ -11,10 +11,15 @@
 //! block; tensor products of the 1-D tiling extend it to multivariate
 //! wavelets.
 //!
-//! - [`device`]: an instrumented in-memory block device — every storage
+//! - [`device`]: the [`BlockDevice`] trait with checksummed verified
+//!   reads, plus the instrumented in-memory [`MemDevice`] — every storage
 //!   claim is about which coefficients share a block and how many block
 //!   reads a query costs, which this measures exactly.
-//! - [`buffer`]: an LRU buffer pool with hit/miss accounting.
+//! - [`faults`]: a deterministic, seeded fault-injection wrapper
+//!   ([`FaultyDevice`]) — read errors, bit flips, torn writes, dead
+//!   blocks, latency — reproducible from a single u64 seed.
+//! - [`buffer`]: an LRU buffer pool with hit/miss accounting and the
+//!   bounded retry-with-backoff read path.
 //! - [`error_tree`]: the dependency structure of the flat DWT layout and
 //!   the ancestor-closed access sets of point and range queries.
 //! - [`alloc`]: block-allocation strategies — sequential, random,
@@ -32,12 +37,16 @@ pub mod alloc;
 pub mod buffer;
 pub mod device;
 pub mod error_tree;
+pub mod faults;
 pub mod progressive;
 pub mod snapshot;
 pub mod store;
 
 pub use alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 pub use buffer::BufferPool;
-pub use device::{BlockDevice, DeviceStats};
+pub use device::{
+    fnv1a_f64, BlockDevice, DeviceStats, MemDevice, ReadError, ReadErrorKind, RetryPolicy,
+};
 pub use error_tree::{point_query_set, range_query_set, ErrorTree};
-pub use store::WaveletStore;
+pub use faults::{FaultKind, FaultPlan, FaultyDevice};
+pub use store::{FetchOutcome, QueryOutcome, WaveletStore};

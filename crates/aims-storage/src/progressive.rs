@@ -8,8 +8,20 @@
 //! A linear query `Σᵢ wᵢ·cᵢ` over stored coefficients decomposes into
 //! per-block partial sums; retrieving blocks in descending order of their
 //! absolute contribution makes the running estimate converge fastest.
+//!
+//! [`progressive_curve_degraded`] extends the idea to fallible media: the
+//! planned blocks are read from a real [`BlockDevice`] through the buffer
+//! pool with retries, and any block that stays unreadable is *skipped* —
+//! the progressive answer is computed from the retrieved prefix and the
+//! guaranteed error bound is widened by the lost blocks' contribution
+//! (bounded via Cauchy–Schwarz from the load-time per-block energy
+//! catalog) instead of failing the query.
+
+use aims_telemetry::global;
 
 use crate::alloc::Allocation;
+use crate::buffer::BufferPool;
+use crate::device::{BlockDevice, RetryPolicy};
 
 /// Block retrieval orders to compare.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +118,127 @@ pub fn error_auc(curve: &[ProgressPoint]) -> f64 {
     curve.iter().map(|p| p.abs_error).sum()
 }
 
+/// Writes a coefficient vector onto a device under `alloc`, using the
+/// same stable slot assignment as `WaveletStore` (ascending coefficient
+/// index within each block). Returns the per-block `(slots, energy)`
+/// catalog: for each block, the `(coefficient, offset)` pairs it holds
+/// and its `Σ c²`.
+pub fn load_coefficients<A: Allocation, D: BlockDevice>(
+    coeffs: &[f64],
+    alloc: &A,
+    device: &mut D,
+) -> Vec<(Vec<(usize, usize)>, f64)> {
+    assert!(device.num_blocks() >= alloc.num_blocks(), "device too small for allocation");
+    assert!(device.block_size() == alloc.block_size(), "block size mismatch");
+    let mut staged = vec![vec![0.0; alloc.block_size()]; alloc.num_blocks()];
+    let mut catalog: Vec<(Vec<(usize, usize)>, f64)> = vec![(Vec::new(), 0.0); alloc.num_blocks()];
+    let mut fill = vec![0usize; alloc.num_blocks()];
+    for (i, &c) in coeffs.iter().enumerate() {
+        let b = alloc.block_of(i);
+        let off = fill[b];
+        fill[b] += 1;
+        staged[b][off] = c;
+        catalog[b].0.push((i, off));
+        catalog[b].1 += c * c;
+    }
+    for (b, data) in staged.iter().enumerate() {
+        device.write_block(b, data);
+    }
+    device.reset_stats();
+    catalog
+}
+
+/// A progressive evaluation that survived storage faults.
+#[derive(Clone, Debug)]
+pub struct DegradedCurve {
+    /// One point per *successfully read* block, in plan order. The
+    /// `abs_error` of each point is measured against the exact answer
+    /// computed from the catalog (available in this simulation; real
+    /// deployments only see `widened_bound`).
+    pub curve: Vec<ProgressPoint>,
+    /// Planned blocks that stayed unreadable after retries.
+    pub lost_blocks: Vec<usize>,
+    /// Guaranteed bound on the final estimate's error from the lost
+    /// blocks: `sqrt(Σ w²) · sqrt(Σ energy)` over the lost part.
+    pub widened_bound: f64,
+    /// Final estimate (sum over the retrieved blocks only).
+    pub estimate: f64,
+}
+
+/// Runs a weighted-coefficient query progressively against a real device:
+/// blocks are read in the planned order through `pool` with `policy`
+/// retries; permanently unreadable blocks are skipped and widen the
+/// guaranteed bound instead of failing the query.
+///
+/// `catalog` is the full stored coefficient vector (load-time metadata,
+/// used for planning and for the exact-error annotation of the curve).
+#[allow(clippy::too_many_arguments)]
+pub fn progressive_curve_degraded<A: Allocation, D: BlockDevice>(
+    query: &[(usize, f64)],
+    catalog: &[f64],
+    alloc: &A,
+    order: RetrievalOrder,
+    device: &D,
+    pool: &mut BufferPool,
+    policy: &RetryPolicy,
+) -> DegradedCurve {
+    let exact: f64 = query.iter().map(|&(i, w)| w * catalog[i]).sum();
+    let plan = plan_blocks(query, catalog, alloc, order);
+
+    // Per-block query terms: block → [(offset-in-block, weight, w²)].
+    let mut slot_of = vec![usize::MAX; catalog.len()];
+    let mut fill = vec![0usize; alloc.num_blocks()];
+    for (i, slot) in slot_of.iter_mut().enumerate() {
+        let b = alloc.block_of(i);
+        *slot = fill[b];
+        fill[b] += 1;
+    }
+    let mut per_block: std::collections::HashMap<usize, Vec<(usize, f64)>> =
+        std::collections::HashMap::new();
+    for &(i, w) in query {
+        per_block.entry(alloc.block_of(i)).or_default().push((slot_of[i], w));
+    }
+
+    let mut estimate = 0.0;
+    let mut curve = Vec::with_capacity(plan.len());
+    let mut lost_blocks = Vec::new();
+    let mut lost_w2 = 0.0;
+    for &b in &plan {
+        match pool.get_with_retry(device, b, policy) {
+            Ok(data) => {
+                let mut part = 0.0;
+                for &(off, w) in &per_block[&b] {
+                    part += w * data[off];
+                }
+                estimate += part;
+                curve.push(ProgressPoint {
+                    blocks_read: curve.len() + 1,
+                    estimate,
+                    abs_error: (estimate - exact).abs(),
+                });
+            }
+            Err(_) => {
+                global().counter("storage.degraded").inc();
+                lost_blocks.push(b);
+                for &(_, w) in &per_block[&b] {
+                    lost_w2 += w * w;
+                }
+            }
+        }
+    }
+    // Energy of lost blocks from the catalog (Σ c² over each lost block —
+    // metadata, since the payload itself is gone).
+    let mut lost_e2 = 0.0;
+    if !lost_blocks.is_empty() {
+        let mut energy = vec![0.0; alloc.num_blocks()];
+        for (i, &c) in catalog.iter().enumerate() {
+            energy[alloc.block_of(i)] += c * c;
+        }
+        lost_e2 = lost_blocks.iter().map(|&b| energy[b]).sum();
+    }
+    DegradedCurve { curve, lost_blocks, widened_bound: (lost_w2 * lost_e2).sqrt(), estimate }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +310,73 @@ mod tests {
         for p in curve {
             assert_eq!(p.estimate, 0.0);
             assert_eq!(p.abs_error, 0.0);
+        }
+    }
+
+    mod degraded {
+        use super::super::*;
+        use crate::alloc::SequentialAlloc;
+        use crate::device::MemDevice;
+        use crate::faults::{FaultKind, FaultPlan, FaultyDevice};
+
+        fn setup() -> (Vec<(usize, f64)>, Vec<f64>, SequentialAlloc) {
+            let coeffs: Vec<f64> = (0..16).map(|i| if i == 9 { 100.0 } else { 1.0 }).collect();
+            let query: Vec<(usize, f64)> = (0..16).map(|i| (i, 1.0)).collect();
+            (query, coeffs, SequentialAlloc::new(16, 4))
+        }
+
+        #[test]
+        fn device_backed_curve_matches_in_memory_curve_when_clean() {
+            let (query, coeffs, alloc) = setup();
+            let mut device = MemDevice::new(4, 4);
+            load_coefficients(&coeffs, &alloc, &mut device);
+            let mut pool = BufferPool::new(4);
+            let reference = progressive_curve(&query, &coeffs, &alloc, RetrievalOrder::Importance);
+            let got = progressive_curve_degraded(
+                &query,
+                &coeffs,
+                &alloc,
+                RetrievalOrder::Importance,
+                &device,
+                &mut pool,
+                &RetryPolicy::none(),
+            );
+            assert!(got.lost_blocks.is_empty());
+            assert_eq!(got.widened_bound, 0.0);
+            assert_eq!(got.curve.len(), reference.len());
+            for (a, b) in got.curve.iter().zip(&reference) {
+                assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            }
+        }
+
+        #[test]
+        fn lost_blocks_widen_the_bound_instead_of_failing() {
+            let (query, coeffs, alloc) = setup();
+            let mut device =
+                FaultyDevice::with_plan(4, 4, FaultPlan::uniform(17, FaultKind::DeadBlock, 0.5));
+            load_coefficients(&coeffs, &alloc, &mut device);
+            let dead: Vec<usize> = (0..4).filter(|&b| device.is_dead(b)).collect();
+            assert!(!dead.is_empty(), "seed 17 should kill something at 50%");
+            let mut pool = BufferPool::new(4);
+            let got = progressive_curve_degraded(
+                &query,
+                &coeffs,
+                &alloc,
+                RetrievalOrder::Importance,
+                &device,
+                &mut pool,
+                &RetryPolicy::with_retries(2),
+            );
+            assert_eq!(got.lost_blocks.len(), dead.len());
+            assert!(got.widened_bound > 0.0);
+            let exact: f64 = coeffs.iter().sum();
+            assert!(
+                (got.estimate - exact).abs() <= got.widened_bound + 1e-9,
+                "|{} − {exact}| > {}",
+                got.estimate,
+                got.widened_bound
+            );
+            assert_eq!(got.curve.len(), 4 - dead.len());
         }
     }
 }

@@ -7,6 +7,7 @@
 //! block payloads — that round-trips through any byte sink.
 
 use crate::buffer::BufferPool;
+use crate::device::BlockDevice;
 use crate::store::{AllocKind, WaveletStore};
 
 /// Snapshot format magic ("AIMS" in ASCII).
@@ -119,7 +120,7 @@ fn decode_alloc(buf: &mut Reader<'_>) -> Result<AllocKind, SnapshotError> {
 /// (Persisting the signal rather than raw blocks keeps the format
 /// independent of slot-assignment details; loading re-runs the same
 /// deterministic transform + placement.)
-pub fn snapshot(store: &WaveletStore, kind: AllocKind) -> Vec<u8> {
+pub fn snapshot<D: BlockDevice>(store: &WaveletStore<D>, kind: AllocKind) -> Vec<u8> {
     let mut out = Vec::with_capacity(32 + store.len() * 8);
     out.extend_from_slice(&MAGIC.to_be_bytes());
     out.extend_from_slice(&VERSION.to_be_bytes());

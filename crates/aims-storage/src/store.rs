@@ -1,10 +1,19 @@
 //! The integrated wavelet block store.
 //!
 //! Ties the pieces of §3.2 together: a signal is transformed (Haar full
-//! DWT), its coefficients are placed on the simulated block device under a
-//! chosen allocation, and point/range queries are answered by fetching
-//! only the ancestor-closed access sets through the buffer pool — with
-//! every block I/O accounted.
+//! DWT), its coefficients are placed on a block device under a chosen
+//! allocation, and point/range queries are answered by fetching only the
+//! ancestor-closed access sets through the buffer pool — with every block
+//! I/O accounted.
+//!
+//! The store is generic over the [`BlockDevice`] implementation, so the
+//! same query code runs over the infallible [`MemDevice`] and the
+//! fault-injected `FaultyDevice`. On a faulty device, the `*_outcome`
+//! query paths retry transient failures under a [`RetryPolicy`] and
+//! degrade gracefully when blocks are permanently lost: missing
+//! coefficients are treated as zero, and the answer carries a widened
+//! error bound derived from the per-block coefficient energy
+//! (Cauchy–Schwarz: `|Σ_{i lost} c_i φ_i| ≤ sqrt(Σ φ_i²)·sqrt(Σ c_i²)`).
 
 use aims_dsp::dwt::{dwt_full, idwt_full};
 use aims_dsp::filters::WaveletFilter;
@@ -12,7 +21,7 @@ use aims_telemetry::{global, span};
 
 use crate::alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 use crate::buffer::BufferPool;
-use crate::device::{BlockDevice, DeviceStats};
+use crate::device::{BlockDevice, DeviceStats, MemDevice, ReadErrorKind, RetryPolicy};
 use crate::error_tree::{point_query_set, range_query_set};
 
 /// Which allocation strategy a store uses.
@@ -43,25 +52,80 @@ impl AnyAlloc {
     }
 }
 
-/// A Haar-wavelet signal store over the simulated block device.
+/// Result of a degraded-capable coefficient fetch.
+#[derive(Clone, Debug)]
+pub struct FetchOutcome {
+    /// Values aligned with the requested set; lost coefficients are `0.0`.
+    pub values: Vec<f64>,
+    /// Positions (indices into the requested set) whose block was lost.
+    pub missing: Vec<usize>,
+    /// Distinct block ids that stayed unreadable after retries.
+    pub lost_blocks: Vec<usize>,
+}
+
+impl FetchOutcome {
+    /// Whether every requested coefficient was retrieved.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// A query answer that survived storage faults, possibly degraded.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The (possibly partial) answer.
+    pub value: f64,
+    /// Guaranteed bound on `|value − exact|` from the lost blocks'
+    /// coefficient energy; `0.0` when nothing was lost.
+    pub error_bound: f64,
+    /// Blocks that stayed unreadable after retries.
+    pub lost_blocks: Vec<usize>,
+}
+
+impl QueryOutcome {
+    /// Whether any block was lost.
+    pub fn degraded(&self) -> bool {
+        !self.lost_blocks.is_empty()
+    }
+}
+
+/// A Haar-wavelet signal store over a block device.
 #[derive(Debug)]
-pub struct WaveletStore {
-    device: BlockDevice,
+pub struct WaveletStore<D: BlockDevice = MemDevice> {
+    device: D,
     alloc: AnyAlloc,
     /// coefficient → (block, offset) location.
     locations: Vec<(usize, usize)>,
+    /// Per-block `Σ c²` over the coefficients stored in the block,
+    /// captured at load time (catalog metadata, available even when the
+    /// block itself is unreadable).
+    block_energy: Vec<f64>,
     n: usize,
 }
 
-impl WaveletStore {
+impl WaveletStore<MemDevice> {
     /// Transforms `signal` (power-of-two length) with the Haar filter and
-    /// writes the coefficients to a fresh device under the chosen
-    /// allocation and block size.
+    /// writes the coefficients to a fresh in-memory device under the
+    /// chosen allocation and block size.
     ///
     /// # Panics
     /// If the signal length or block size is not a power of two, or the
     /// block size exceeds the signal length.
     pub fn from_signal(signal: &[f64], block_size: usize, kind: AllocKind) -> Self {
+        WaveletStore::from_signal_on(signal, block_size, kind, MemDevice::new)
+    }
+}
+
+impl<D: BlockDevice> WaveletStore<D> {
+    /// Like [`WaveletStore::from_signal`], but the backing device is built
+    /// by `make(block_size, num_blocks)` — the hook the fault-injection
+    /// tests use to load a store onto a `FaultyDevice`.
+    pub fn from_signal_on(
+        signal: &[f64],
+        block_size: usize,
+        kind: AllocKind,
+        make: impl FnOnce(usize, usize) -> D,
+    ) -> Self {
         let n = signal.len();
         assert!(n.is_power_of_two() && n >= 2, "signal length must be a power of two ≥ 2");
         let coeffs = dwt_full(signal, &WaveletFilter::haar());
@@ -83,18 +147,22 @@ impl WaveletStore {
             fill[b] += 1;
         }
 
-        let mut device = BlockDevice::new(block_size, adyn.num_blocks());
+        let mut device = make(block_size, adyn.num_blocks());
+        assert!(device.block_size() == block_size, "device block size mismatch");
+        assert!(device.num_blocks() >= adyn.num_blocks(), "device too small for allocation");
         let mut staged = vec![vec![0.0; block_size]; adyn.num_blocks()];
         for (i, &c) in coeffs.iter().enumerate() {
             let (b, off) = locations[i];
             staged[b][off] = c;
         }
+        let block_energy: Vec<f64> =
+            staged.iter().map(|data| data.iter().map(|c| c * c).sum()).collect();
         for (b, data) in staged.iter().enumerate() {
             device.write_block(b, data);
         }
         device.reset_stats();
 
-        WaveletStore { device, alloc, locations, n }
+        WaveletStore { device, alloc, locations, block_energy, n }
     }
 
     /// Signal length / coefficient count.
@@ -117,6 +185,17 @@ impl WaveletStore {
         self.alloc.as_dyn()
     }
 
+    /// The backing device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// `Σ c²` of the coefficients stored in `block` (load-time catalog
+    /// metadata; available even when the block is unreadable).
+    pub fn block_energy(&self, block: usize) -> f64 {
+        self.block_energy[block]
+    }
+
     /// Device I/O counters.
     pub fn device_stats(&self) -> DeviceStats {
         self.device.stats()
@@ -127,8 +206,26 @@ impl WaveletStore {
         self.device.reset_stats();
     }
 
+    /// Distinct blocks (sorted) holding the listed coefficients.
+    pub fn blocks_for(&self, set: &[usize]) -> Vec<usize> {
+        let mut blocks: Vec<usize> = set
+            .iter()
+            .map(|&i| {
+                assert!(i < self.n, "coefficient {i} out of range");
+                self.locations[i].0
+            })
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
     /// Fetches the listed coefficients through the pool, returning values
     /// aligned with `set`.
+    ///
+    /// # Panics
+    /// If any block read fails — use [`WaveletStore::fetch_degraded`] on
+    /// devices that can fault.
     pub fn fetch(&self, set: &[usize], pool: &mut BufferPool) -> Vec<f64> {
         let mut blocks: Vec<usize> = Vec::with_capacity(set.len());
         let values = set
@@ -137,25 +234,67 @@ impl WaveletStore {
                 assert!(i < self.n, "coefficient {i} out of range");
                 let (b, off) = self.locations[i];
                 blocks.push(b);
-                pool.get(&self.device, b)[off]
+                pool.get(&self.device, b).expect("block read failed (use fetch_degraded)")[off]
             })
             .collect();
         blocks.sort_unstable();
         blocks.dedup();
-        if !blocks.is_empty() {
-            let telemetry = global();
-            telemetry.counter("storage.store.coefficients_fetched").add(set.len() as u64);
-            // The paper's success metric (§3.2.1): needed items per
-            // retrieved block, which tiling pushes toward 1 + lg B.
-            telemetry
-                .histogram_f64("storage.alloc.needed_items_per_block")
-                .record_f64(set.len() as f64 / blocks.len() as f64);
-        }
+        record_fetch(set.len(), blocks.len());
         values
+    }
+
+    /// Fetches the listed coefficients, retrying transient failures under
+    /// `policy` and degrading when a block stays unreadable: its
+    /// coefficients come back as `0.0` and are listed in `missing`.
+    ///
+    /// Each permanently lost block increments `storage.degraded`.
+    pub fn fetch_degraded(
+        &self,
+        set: &[usize],
+        pool: &mut BufferPool,
+        policy: &RetryPolicy,
+    ) -> FetchOutcome {
+        let mut lost_blocks: Vec<usize> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
+        let mut blocks: Vec<usize> = Vec::with_capacity(set.len());
+        let mut values = Vec::with_capacity(set.len());
+        for (pos, &i) in set.iter().enumerate() {
+            assert!(i < self.n, "coefficient {i} out of range");
+            let (b, off) = self.locations[i];
+            blocks.push(b);
+            if lost_blocks.contains(&b) {
+                // Already failed this fetch — don't burn the budget again.
+                missing.push(pos);
+                values.push(0.0);
+                continue;
+            }
+            match pool.get_with_retry(&self.device, b, policy) {
+                Ok(data) => values.push(data[off]),
+                Err(e) => {
+                    debug_assert!(matches!(
+                        e.kind,
+                        ReadErrorKind::Io | ReadErrorKind::Corrupt | ReadErrorKind::Dead
+                    ));
+                    global().counter("storage.degraded").inc();
+                    lost_blocks.push(b);
+                    missing.push(pos);
+                    values.push(0.0);
+                }
+            }
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        record_fetch(set.len(), blocks.len());
+        lost_blocks.sort_unstable();
+        FetchOutcome { values, missing, lost_blocks }
     }
 
     /// Reconstructs the data value at position `t`, reading only its
     /// error-tree path.
+    ///
+    /// # Panics
+    /// If a block read fails — use [`WaveletStore::point_value_outcome`]
+    /// on devices that can fault.
     pub fn point_value(&self, t: usize, pool: &mut BufferPool) -> f64 {
         let _span = span!("storage.store.point_value");
         global().counter("storage.store.point_queries").inc();
@@ -169,6 +308,10 @@ impl WaveletStore {
     }
 
     /// Range sum `Σ_{t=a}^{b} x[t]`, reading only the two boundary paths.
+    ///
+    /// # Panics
+    /// If a block read fails — use [`WaveletStore::range_sum_outcome`] on
+    /// devices that can fault.
     pub fn range_sum(&self, a: usize, b: usize, pool: &mut BufferPool) -> f64 {
         let _span = span!("storage.store.range_sum");
         global().counter("storage.store.range_queries").inc();
@@ -181,6 +324,79 @@ impl WaveletStore {
         sum
     }
 
+    /// Fault-tolerant point query: retries under `policy`, degrades to a
+    /// partial answer with a guaranteed error bound when blocks are lost.
+    ///
+    /// With zero faults the returned value is bit-identical to
+    /// [`WaveletStore::point_value`] (same access set, same summation
+    /// order).
+    pub fn point_value_outcome(
+        &self,
+        t: usize,
+        pool: &mut BufferPool,
+        policy: &RetryPolicy,
+    ) -> QueryOutcome {
+        let _span = span!("storage.store.point_value");
+        global().counter("storage.store.point_queries").inc();
+        let set = point_query_set(t, self.n);
+        let outcome = self.fetch_degraded(&set, pool, policy);
+        let mut x = 0.0;
+        for (&i, &c) in set.iter().zip(&outcome.values) {
+            x += c * haar_basis_value(i, t, self.n);
+        }
+        let bound = self.lost_bound(&set, &outcome, |i| haar_basis_value(i, t, self.n));
+        QueryOutcome { value: x, error_bound: bound, lost_blocks: outcome.lost_blocks }
+    }
+
+    /// Fault-tolerant range sum: retries under `policy`, degrades to a
+    /// partial answer with a guaranteed error bound when blocks are lost.
+    pub fn range_sum_outcome(
+        &self,
+        a: usize,
+        b: usize,
+        pool: &mut BufferPool,
+        policy: &RetryPolicy,
+    ) -> QueryOutcome {
+        let _span = span!("storage.store.range_sum");
+        global().counter("storage.store.range_queries").inc();
+        let set = range_query_set(a, b, self.n);
+        let outcome = self.fetch_degraded(&set, pool, policy);
+        let mut sum = 0.0;
+        for (&i, &c) in set.iter().zip(&outcome.values) {
+            sum += c * haar_basis_range_sum(i, a, b, self.n);
+        }
+        let bound = self.lost_bound(&set, &outcome, |i| haar_basis_range_sum(i, a, b, self.n));
+        QueryOutcome { value: sum, error_bound: bound, lost_blocks: outcome.lost_blocks }
+    }
+
+    /// Cauchy–Schwarz bound on the contribution of the lost coefficients:
+    /// `sqrt(Σ_{i missing} φ_i²) · sqrt(Σ_{b lost} block_energy[b])`.
+    ///
+    /// The basis weights of the missing set are known exactly; the lost
+    /// coefficients are bounded by the load-time per-block energy catalog
+    /// (an over-estimate, since a lost block may also hold coefficients
+    /// outside the access set).
+    fn lost_bound(
+        &self,
+        set: &[usize],
+        outcome: &FetchOutcome,
+        weight: impl Fn(usize) -> f64,
+    ) -> f64 {
+        if outcome.missing.is_empty() {
+            return 0.0;
+        }
+        let w2: f64 = outcome
+            .missing
+            .iter()
+            .map(|&pos| {
+                let w = weight(set[pos]);
+                w * w
+            })
+            .sum();
+        let e2: f64 = outcome.lost_blocks.iter().map(|&b| self.block_energy[b]).sum();
+        (w2 * e2).sqrt()
+    }
+
     /// Full reconstruction (reads every block).
     pub fn reconstruct_all(&self, pool: &mut BufferPool) -> Vec<f64> {
         let set: Vec<usize> = (0..self.n).collect();
@@ -189,8 +405,23 @@ impl WaveletStore {
     }
 }
 
+/// Records the fetch-shape telemetry shared by the strict and degraded
+/// paths.
+fn record_fetch(set_len: usize, distinct_blocks: usize) {
+    if distinct_blocks == 0 {
+        return;
+    }
+    let telemetry = global();
+    telemetry.counter("storage.store.coefficients_fetched").add(set_len as u64);
+    // The paper's success metric (§3.2.1): needed items per retrieved
+    // block, which tiling pushes toward 1 + lg B.
+    telemetry
+        .histogram_f64("storage.alloc.needed_items_per_block")
+        .record_f64(set_len as f64 / distinct_blocks as f64);
+}
+
 /// Value of the `i`-th Haar basis function (flat layout) at position `t`.
-fn haar_basis_value(i: usize, t: usize, n: usize) -> f64 {
+pub(crate) fn haar_basis_value(i: usize, t: usize, n: usize) -> f64 {
     if i == 0 {
         return 1.0 / (n as f64).sqrt();
     }
@@ -206,7 +437,7 @@ fn haar_basis_value(i: usize, t: usize, n: usize) -> f64 {
 }
 
 /// `Σ_{t=a}^{b}` of the `i`-th Haar basis function.
-fn haar_basis_range_sum(i: usize, a: usize, b: usize, n: usize) -> f64 {
+pub(crate) fn haar_basis_range_sum(i: usize, a: usize, b: usize, n: usize) -> f64 {
     if i == 0 {
         return (b - a + 1) as f64 / (n as f64).sqrt();
     }
@@ -232,6 +463,7 @@ fn haar_basis_range_sum(i: usize, a: usize, b: usize, n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan, FaultyDevice};
 
     fn signal(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 7 + 1) % 13) as f64 - 6.0).collect()
@@ -331,5 +563,74 @@ mod tests {
                 assert!((direct - fast).abs() < 1e-10, "i={i} [{a},{b}]");
             }
         }
+    }
+
+    #[test]
+    fn outcome_paths_match_plain_paths_bit_for_bit_when_clean() {
+        let x = signal(128);
+        let plain = WaveletStore::from_signal(&x, 16, AllocKind::TreeTiling);
+        let faulty = WaveletStore::from_signal_on(&x, 16, AllocKind::TreeTiling, |bs, nb| {
+            FaultyDevice::with_plan(bs, nb, FaultPlan::none(99))
+        });
+        let policy = RetryPolicy::default();
+        for t in [0usize, 17, 77, 127] {
+            let mut p1 = BufferPool::new(8);
+            let mut p2 = BufferPool::new(8);
+            let a = plain.point_value(t, &mut p1);
+            let b = faulty.point_value_outcome(t, &mut p2, &policy);
+            assert_eq!(a.to_bits(), b.value.to_bits(), "t={t}");
+            assert_eq!(b.error_bound, 0.0);
+            assert!(!b.degraded());
+        }
+        for (a0, b0) in [(0usize, 127usize), (5, 9), (30, 100)] {
+            let mut p1 = BufferPool::new(8);
+            let mut p2 = BufferPool::new(8);
+            let a = plain.range_sum(a0, b0, &mut p1);
+            let b = faulty.range_sum_outcome(a0, b0, &mut p2, &policy);
+            assert_eq!(a.to_bits(), b.value.to_bits(), "[{a0},{b0}]");
+        }
+    }
+
+    #[test]
+    fn degraded_answers_honor_their_error_bound() {
+        let x = signal(256);
+        let exact = WaveletStore::from_signal(&x, 16, AllocKind::TreeTiling);
+        let faulty = WaveletStore::from_signal_on(&x, 16, AllocKind::TreeTiling, |bs, nb| {
+            FaultyDevice::with_plan(bs, nb, FaultPlan::uniform(11, FaultKind::DeadBlock, 0.3))
+        });
+        let mut degraded_seen = 0usize;
+        for (a, b) in [(0usize, 255usize), (10, 200), (32, 95), (100, 101)] {
+            let mut p1 = BufferPool::new(32);
+            let mut p2 = BufferPool::new(32);
+            let truth = exact.range_sum(a, b, &mut p1);
+            let got = faulty.range_sum_outcome(a, b, &mut p2, &RetryPolicy::none());
+            assert!(
+                (got.value - truth).abs() <= got.error_bound + 1e-9,
+                "[{a},{b}]: |{} − {truth}| > {}",
+                got.value,
+                got.error_bound
+            );
+            if got.degraded() {
+                degraded_seen += 1;
+                // The bound can legitimately be 0.0 when every missing
+                // coefficient has zero basis weight over this range.
+                assert!(got.error_bound.is_finite() && got.error_bound >= 0.0);
+            }
+        }
+        assert!(degraded_seen > 0, "seed 11 at 30% dead should degrade something");
+    }
+
+    #[test]
+    fn blocks_for_matches_fetch_shape() {
+        let x = signal(64);
+        let store = WaveletStore::from_signal(&x, 8, AllocKind::TreeTiling);
+        let set = point_query_set(13, 64);
+        let blocks = store.blocks_for(&set);
+        assert!(!blocks.is_empty());
+        assert!(blocks.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        let mut pool = BufferPool::new(64);
+        store.reset_stats();
+        store.point_value(13, &mut pool);
+        assert_eq!(store.device_stats().reads as usize, blocks.len());
     }
 }
