@@ -36,12 +36,25 @@ AIMS_FAULT_SEED=13 cargo test -q --test fault_matrix
 echo "== fault matrix (pinned seed 1013) =="
 AIMS_FAULT_SEED=1013 cargo test -q --test fault_matrix
 
+echo "== ingest drill (pinned seed 17) =="
+AIMS_INGEST_FAULT_SEED=17 cargo test -q --test ingest_drill
+
+echo "== ingest drill (pinned seed 1017) =="
+AIMS_INGEST_FAULT_SEED=1017 cargo test -q --test ingest_drill
+
 if [[ $fast -eq 0 ]]; then
     echo "== bench_parallel (E24 serial-vs-parallel, bit-identical gate) =="
     cargo run --release -q -p aims-bench --bin experiments -- e24
 
     echo "== bench_faults (E25 degraded-query error-vs-loss gate) =="
     cargo run --release -q -p aims-bench --bin experiments -- e25
+
+    echo "== bench_ingest_faults (E26 recognition-under-dropout gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e26
+    test -f target/bench_ingest_faults.json || {
+        echo "E26 did not record target/bench_ingest_faults.json" >&2
+        exit 1
+    }
 fi
 
 echo "CI OK"

@@ -17,11 +17,20 @@
 //! - [`multibasis`]: per-dimension basis selection from the DWPT library
 //!   (§3.1.1) — standard basis for low-cardinality dimensions, the best
 //!   wavelet packet basis elsewhere.
+//! - [`ingest`]: the supervised, fault-tolerant stage in front of the
+//!   recorder — reordering, duplicate suppression, gap repair with
+//!   per-sample quality flags, per-sensor health tracking, and explicit
+//!   overflow policies including rate degradation.
 
+pub mod ingest;
 pub mod multibasis;
 pub mod recorder;
 pub mod sampling;
 
+pub use ingest::{
+    HealthEvent, HealthState, IngestConfig, IngestOutcome, OverflowPolicy, Reassembler,
+    RepairPolicy, SupervisedIngest,
+};
 pub use multibasis::{select_bases, BasisChoice, TransformPlan};
-pub use recorder::{DoubleBufferRecorder, RecorderConfig, RecordingStats};
-pub use sampling::{sample_stream, SamplingParams, SamplingResult, Strategy};
+pub use recorder::{DoubleBufferRecorder, QueuePolicy, RecorderConfig, RecordingStats};
+pub use sampling::{decimate_stream, sample_stream, SamplingParams, SamplingResult, Strategy};

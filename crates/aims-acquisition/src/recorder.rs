@@ -13,11 +13,27 @@
 //! Overruns are counted rather than hidden, so experiments can size the
 //! buffer honestly.
 
-use std::sync::mpsc::{sync_channel, TryRecvError, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use aims_sensors::types::MultiStream;
 use aims_telemetry::{global, span};
+
+/// The interrupt-to-storage handoff buffer: (source index, frame) pairs.
+type SharedQueue = Arc<Mutex<VecDeque<(usize, Vec<f64>)>>>;
+
+/// What the interrupt-side producer does when the in-memory buffer is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Drop the arriving frame (the recorder's historical behavior: an
+    /// interrupt handler that finds the buffer full walks away).
+    DropNewest,
+    /// Evict the oldest buffered frame to make room — freshest data wins,
+    /// at the cost of a hole earlier in the recording.
+    DropOldest,
+}
 
 /// Recorder tuning.
 #[derive(Clone, Copy, Debug)]
@@ -38,14 +54,23 @@ impl Default for RecorderConfig {
 }
 
 /// Outcome of one recording run.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RecordingStats {
     /// Frames successfully handed to the storage thread.
     pub stored_frames: usize,
-    /// Frames dropped because the buffer was full at interrupt time.
+    /// Frames dropped: buffer overflow at interrupt time, plus (under
+    /// supervised ingest) frames arriving too late for the reorder window.
     pub dropped_frames: usize,
     /// Batches the storage thread wrote.
     pub batches: usize,
+    /// Samples the supervised ingest synthesized (gap repair after dropout
+    /// or loss, spike replacement). Zero on the raw recorder path.
+    pub repaired_samples: usize,
+    /// Frames that arrived out of order and were put back in sequence by
+    /// the reorder window. Zero on the raw recorder path.
+    pub reordered_frames: usize,
+    /// Duplicate deliveries suppressed. Zero on the raw recorder path.
+    pub duplicate_frames: usize,
 }
 
 impl RecordingStats {
@@ -81,60 +106,99 @@ impl DoubleBufferRecorder {
     /// and appends them to the stored stream (optionally sleeping to model
     /// storage latency).
     pub fn record(&self, source: &MultiStream) -> (MultiStream, RecordingStats) {
+        let (stored, _, stats) = self.record_with(source, QueuePolicy::DropNewest);
+        (stored, stats)
+    }
+
+    /// Like [`Self::record`], but with an explicit buffer-overflow policy,
+    /// and reporting *which* source frames made it to storage (their
+    /// indices, in stored order) — the supervised ingest uses this to keep
+    /// per-sample quality flags aligned with the stored stream.
+    pub fn record_with(
+        &self,
+        source: &MultiStream,
+        policy: QueuePolicy,
+    ) -> (MultiStream, Vec<usize>, RecordingStats) {
         let _span = span!("acquisition.recorder.record");
-        let (tx, rx) = sync_channel::<Vec<f64>>(self.config.buffer_frames);
+        let queue: SharedQueue =
+            Arc::new(Mutex::new(VecDeque::with_capacity(self.config.buffer_frames)));
+        let done = Arc::new(AtomicBool::new(false));
         let spec = source.spec().clone();
         let batch_size = self.config.batch_size.max(1);
         let latency = self.config.store_latency_us;
+        let capacity = self.config.buffer_frames.max(1);
 
-        let consumer = thread::spawn(move || {
-            let mut stored = MultiStream::new(spec);
-            let mut batches = 0usize;
-            let mut batch = 0usize;
-            loop {
-                match rx.try_recv() {
-                    Ok(frame) => {
-                        stored.push(&frame);
-                        batch += 1;
-                        if batch >= batch_size {
-                            batches += 1;
-                            batch = 0;
-                            if latency > 0 {
-                                thread::sleep(std::time::Duration::from_micros(latency));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut stored = MultiStream::new(spec);
+                let mut indices = Vec::new();
+                let mut batches = 0usize;
+                let mut batch = 0usize;
+                loop {
+                    let next = queue.lock().unwrap().pop_front();
+                    match next {
+                        Some((idx, frame)) => {
+                            stored.push(&frame);
+                            indices.push(idx);
+                            batch += 1;
+                            if batch >= batch_size {
+                                batches += 1;
+                                batch = 0;
+                                if latency > 0 {
+                                    thread::sleep(std::time::Duration::from_micros(latency));
+                                }
                             }
                         }
+                        None => {
+                            if done.load(Ordering::Acquire) && queue.lock().unwrap().is_empty() {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
                     }
-                    Err(TryRecvError::Empty) => thread::yield_now(),
-                    Err(TryRecvError::Disconnected) => break,
                 }
-            }
-            if batch > 0 {
-                batches += 1;
-            }
-            (stored, batches)
-        });
+                if batch > 0 {
+                    batches += 1;
+                }
+                (stored, indices, batches)
+            })
+        };
 
         let mut dropped = 0usize;
-        let mut offered = 0usize;
-        for t in 0..source.len() {
-            offered += 1;
-            match tx.try_send(source.frame(t).to_vec()) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => dropped += 1,
-                Err(TrySendError::Disconnected(_)) => break,
+        let offered = source.len();
+        for t in 0..offered {
+            let mut q = queue.lock().unwrap();
+            if q.len() >= capacity {
+                match policy {
+                    QueuePolicy::DropNewest => {
+                        dropped += 1;
+                        continue;
+                    }
+                    QueuePolicy::DropOldest => {
+                        q.pop_front();
+                        dropped += 1;
+                    }
+                }
             }
+            q.push_back((t, source.frame(t).to_vec()));
         }
-        drop(tx);
-        let (stored, batches) = consumer.join().expect("storage thread panicked");
+        done.store(true, Ordering::Release);
+        let (stored, indices, batches) = consumer.join().expect("storage thread panicked");
 
-        let stats =
-            RecordingStats { stored_frames: offered - dropped, dropped_frames: dropped, batches };
+        let stats = RecordingStats {
+            stored_frames: offered - dropped,
+            dropped_frames: dropped,
+            batches,
+            ..RecordingStats::default()
+        };
         let telemetry = global();
         telemetry.counter("acquisition.recorder.stored_frames").add(stats.stored_frames as u64);
         telemetry.counter("acquisition.recorder.dropped_frames").add(dropped as u64);
         telemetry.counter("acquisition.recorder.batches").add(batches as u64);
         debug_assert_eq!(stats.stored_frames, stored.len());
-        (stored, stats)
+        (stored, indices, stats)
     }
 }
 
@@ -206,6 +270,39 @@ mod tests {
             }
             last_index = Some(idx);
         }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_frames() {
+        let src = stream(2000);
+        let rec = DoubleBufferRecorder::new(RecorderConfig {
+            buffer_frames: 4,
+            batch_size: 4,
+            store_latency_us: 200,
+        });
+        let (stored, indices, stats) = rec.record_with(&src, QueuePolicy::DropOldest);
+        assert_eq!(stats.stored_frames + stats.dropped_frames, 2000);
+        assert_eq!(stored.len(), indices.len());
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "stored indices must stay ordered: {w:?}");
+        }
+        // The producer always enqueues the newest frame, so the final frame
+        // of the source survives whatever the overrun.
+        assert_eq!(*indices.last().unwrap(), 1999);
+    }
+
+    #[test]
+    fn record_with_reports_stored_indices() {
+        let src = stream(300);
+        let rec = DoubleBufferRecorder::new(RecorderConfig {
+            buffer_frames: 512,
+            batch_size: 32,
+            store_latency_us: 0,
+        });
+        let (stored, indices, stats) = rec.record_with(&src, QueuePolicy::DropNewest);
+        assert_eq!(stats.dropped_frames, 0);
+        assert_eq!(indices, (0..300).collect::<Vec<_>>());
+        assert_eq!(stored, src);
     }
 
     #[test]

@@ -175,6 +175,29 @@ fn interpolate(kept: &[(usize, f64)], len: usize) -> Vec<f64> {
     out
 }
 
+/// Uniform rate reduction by an integer factor: keeps every `factor`-th
+/// frame and divides the spec's sample rate accordingly — the same
+/// stride-decimation the strategy pipeline applies once a target rate is
+/// chosen, packaged for callers that must shed load *reactively*. The
+/// supervised ingest's `Degrade` overflow policy halves its rate through
+/// this (factor 2, 4, …) when the recording pipeline cannot keep up.
+///
+/// # Panics
+/// If `factor` is zero or the stream is empty.
+pub fn decimate_stream(stream: &MultiStream, factor: usize) -> MultiStream {
+    assert!(factor > 0, "decimation factor must be positive");
+    assert!(!stream.is_empty(), "cannot decimate an empty stream");
+    let spec = aims_sensors::types::StreamSpec::new(
+        stream.spec().channel_names.clone(),
+        stream.spec().sample_rate / factor as f64,
+    );
+    let channels: Vec<Vec<f64>> = (0..stream.channels())
+        .map(|c| stream.channel(c).into_iter().step_by(factor).collect())
+        .collect();
+    global().counter("acquisition.sampling.decimations").inc();
+    MultiStream::from_channels(spec, &channels)
+}
+
 /// Simple 1-D clustering of rates into at most `k` groups: sorts the rates
 /// and greedily splits at the `k−1` largest gaps. Returns a group index
 /// per sensor.

@@ -7,8 +7,8 @@
 //!   cargo run --release -p aims-bench --bin experiments -- e9 e13  # some
 
 use aims_bench::{
-    exp_acquisition, exp_adhd, exp_extensions, exp_faults, exp_online, exp_parallel, exp_propolyne,
-    exp_storage, exp_system,
+    exp_acquisition, exp_adhd, exp_extensions, exp_faults, exp_ingest_faults, exp_online,
+    exp_parallel, exp_propolyne, exp_storage, exp_system,
 };
 
 type Experiment = (&'static str, fn());
@@ -39,6 +39,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e23", exp_extensions::e23_packet_basis),
     ("e24", exp_parallel::e24_parallel_speedup),
     ("e25", exp_faults::e25_fault_degradation),
+    ("e26", exp_ingest_faults::e26_ingest_faults),
 ];
 
 fn main() {

@@ -13,6 +13,7 @@ pub mod exp_acquisition;
 pub mod exp_adhd;
 pub mod exp_extensions;
 pub mod exp_faults;
+pub mod exp_ingest_faults;
 pub mod exp_online;
 pub mod exp_parallel;
 pub mod exp_propolyne;

@@ -21,16 +21,21 @@
 //!   hands and legs, AX-task stimulus/response events, scripted
 //!   distractions, and normal vs ADHD subject motion models.
 //! - [`io`]: CSV import/export of streams.
+//! - [`faulty`]: seeded wire-level fault injection — dropout, stuck-at,
+//!   spikes, clock faults, duplication, reordering and sensor death, all
+//!   reproducible from one `u64` seed.
 
 pub mod adhd;
 pub mod asl;
+pub mod faulty;
 pub mod glove;
 pub mod io;
 pub mod noise;
 pub mod types;
 
 pub use asl::{AslSign, AslVocabulary, SignInstance};
+pub use faulty::{FaultySensorRig, SensorFaultPlan, WireFrame};
 pub use glove::{
     CyberGloveRig, GLOVE_SENSOR_NAMES, NUM_CHANNELS, NUM_GLOVE_SENSORS, NUM_TRACKER_CHANNELS,
 };
-pub use types::{Frame, MultiStream, SensorId, StreamSpec};
+pub use types::{Frame, MultiStream, QualityMask, SampleQuality, SensorId, StreamSpec};

@@ -29,7 +29,9 @@ pub mod similarity;
 pub mod vocabulary;
 
 pub use engine::SlidingWindow;
-pub use isolation::{DetectedPattern, IsolationConfig, StreamRecognizer};
+pub use isolation::{
+    evaluate_isolation, DetectedPattern, IsolationConfig, IsolationReport, StreamRecognizer,
+};
 pub use signature::SvdSignature;
 pub use similarity::weighted_svd_similarity;
 pub use vocabulary::VocabularyMatcher;

@@ -126,6 +126,50 @@ impl SvdSignature {
             (sim / weight_sum).clamp(0.0, 1.0)
         }
     }
+
+    /// Like [`Self::similarity`], but restricted to the sensor rows marked
+    /// `true` in `live` — the degraded-mode comparison used when channels
+    /// have been declared dead. Cosines are renormalized over the live
+    /// rows, and directions whose energy lives entirely in masked rows
+    /// drop out of the weighting. With every channel live this is exactly
+    /// [`Self::similarity`], bit for bit.
+    ///
+    /// # Panics
+    /// If sensor dimensions differ or `live` has the wrong length.
+    pub fn masked_similarity(&self, other: &SvdSignature, live: &[bool]) -> f64 {
+        assert_eq!(self.sensors(), other.sensors(), "sensor dimensionality mismatch");
+        assert_eq!(live.len(), self.sensors(), "mask length mismatch");
+        if live.iter().all(|&l| l) {
+            return self.similarity(other);
+        }
+        aims_telemetry::global().counter("stream.signature.masked_comparisons").inc();
+        let k = self.rank().min(other.rank());
+        let mut sim = 0.0;
+        let mut weight_sum = 0.0;
+        for i in 0..k {
+            let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+            for (r, &is_live) in live.iter().enumerate() {
+                if !is_live {
+                    continue;
+                }
+                let a = self.basis[(r, i)];
+                let b = other.basis[(r, i)];
+                dot += a * b;
+                na += a * a;
+                nb += b * b;
+            }
+            let weight = (self.shares[i] * other.shares[i]).sqrt();
+            if na > 1e-12 && nb > 1e-12 {
+                sim += weight * (dot / (na.sqrt() * nb.sqrt())).abs();
+                weight_sum += weight;
+            }
+        }
+        if weight_sum <= 0.0 {
+            0.0
+        } else {
+            (sim / weight_sum).clamp(0.0, 1.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +256,42 @@ mod tests {
         let a = SvdSignature::from_matrix(&window(1, 7, 25), 4);
         let b = SvdSignature::from_matrix(&window(2, 7, 31), 4);
         assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_similarity_with_all_live_matches_plain() {
+        let a = SvdSignature::from_matrix(&window(1, 7, 25), 4);
+        let b = SvdSignature::from_matrix(&window(2, 7, 31), 4);
+        let live = vec![true; 7];
+        assert_eq!(a.masked_similarity(&b, &live).to_bits(), a.similarity(&b).to_bits());
+    }
+
+    #[test]
+    fn masking_a_dead_channel_recovers_similarity() {
+        // Same process twice, but the second window's channel 2 — the most
+        // energetic sensor — flatlined. The full comparison is dragged down
+        // by the missing row; masking it out recovers a near-perfect score.
+        let weights = [1.0, 1.0, 10.0, 1.0, 1.0, 1.0];
+        let clean = Matrix::from_fn(6, 80, |r, c| weights[r] * (c as f64 * 0.07).sin());
+        let mut broken = clean.clone();
+        for c in 0..broken.cols() {
+            broken[(2, c)] = 0.0;
+        }
+        let sc = SvdSignature::from_matrix(&clean, 3);
+        let sb = SvdSignature::from_matrix(&broken, 3);
+        let mut live = vec![true; 6];
+        live[2] = false;
+        let masked = sc.masked_similarity(&sb, &live);
+        let full = sc.similarity(&sb);
+        assert!(masked > full + 0.3, "masked {masked} vs full {full}");
+        assert!(masked > 0.99, "masked comparison should recover: {masked}");
+    }
+
+    #[test]
+    fn fully_masked_comparison_scores_zero() {
+        let a = SvdSignature::from_matrix(&window(1, 5, 20), 3);
+        let b = SvdSignature::from_matrix(&window(2, 5, 20), 3);
+        assert_eq!(a.masked_similarity(&b, &[false; 5]), 0.0);
     }
 
     #[test]

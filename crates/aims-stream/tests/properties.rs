@@ -117,6 +117,7 @@ proptest! {
                 start: start + 1,
                 end: end.saturating_sub(1).max(start + 2),
                 peak_evidence: 1.0,
+                confidence: 1.0,
             });
             cursor = end;
         }

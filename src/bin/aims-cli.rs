@@ -10,6 +10,9 @@
 //! aims-cli metrics   --seconds 2 --seed 7 [--format table|json]
 //! aims-cli faults    --seed 41378 --rate 0.3 --kind read|flip|torn|dead \
 //!                    [--budget 3] [--format table|json]
+//! aims-cli ingest-faults --seed 2003 --dropout 0.1 [--stuck 0.0] [--spike 0.0] \
+//!                    [--dup 0.0] [--reorder 0.0] [--dead 0.0] \
+//!                    [--policy hold|interpolate] [--seconds 4] [--format table|json]
 //! ```
 //!
 //! `generate` simulates a CyberGlove session to CSV; `ingest` runs the
@@ -21,7 +24,11 @@
 //! `faults` runs a fault drill — range queries against a seeded
 //! fault-injected store with a bounded retry budget — and reports how
 //! many queries recovered exactly vs. degraded with a bound, plus the
-//! `storage.retries`/`storage.corrupt`/`storage.degraded` counters.
+//! `storage.retries`/`storage.corrupt`/`storage.degraded` counters;
+//! `ingest-faults` is the acquisition-side twin — it replays a glove
+//! session through a seeded faulty sensor link into the supervised ingest
+//! stage and reports repairs, reordering, health transitions and the
+//! `ingest.*` telemetry.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -36,7 +43,8 @@ use aims::{AimsConfig, AimsSystem};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aims-cli <generate|ingest|query|recognize|metrics|faults> [--key value]...\n\
+        "usage: aims-cli <generate|ingest|query|recognize|metrics|faults|ingest-faults> \
+[--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
          ingest    --input <file> [--strategy adaptive|fixed|modified-fixed|grouped]\n\
@@ -44,7 +52,10 @@ fn usage() -> ! {
          recognize --signs <n> --sentence <n> --seed <n>\n\
          metrics   --seconds <f> --seed <n> [--format table|json]\n\
          faults    --seed <n> --rate <0..1> --kind read|flip|torn|dead \
-[--budget <n>] [--format table|json]"
+[--budget <n>] [--format table|json]\n\
+         ingest-faults --seed <n> [--dropout <0..1>] [--stuck <0..1>] [--spike <0..1>]\n\
+                   [--dup <0..1>] [--reorder <0..1>] [--dead <0..1>]\n\
+                   [--policy hold|interpolate] [--seconds <f>] [--format table|json]"
     );
     exit(2);
 }
@@ -387,6 +398,217 @@ fn cmd_faults(flags: &HashMap<String, String>) {
     }
 }
 
+/// Runs a reproducible *sensor* fault drill: a clean glove session is
+/// replayed through a seeded faulty wire into the supervised ingest stage,
+/// which reorders, deduplicates, repairs and health-tracks it; reports the
+/// supervisor's counters, health transitions and the `ingest.*` telemetry.
+/// With every rate at zero the repaired stream is asserted bit-identical
+/// to the clean session (the supervised path costs nothing on good input).
+fn cmd_ingest_faults(flags: &HashMap<String, String>) {
+    use aims::acquisition::ingest::{IngestConfig, RepairPolicy, SupervisedIngest};
+    use aims::acquisition::recorder::RecorderConfig;
+    use aims::sensors::faulty::{FaultySensorRig, SensorFaultPlan};
+    use aims::sensors::types::SampleQuality;
+
+    let seed: u64 = flag(flags, "seed", 2003);
+    let seconds: f64 = flag(flags, "seconds", 4.0);
+    let dropout: f64 = flag(flags, "dropout", 0.1);
+    let stuck: f64 = flag(flags, "stuck", 0.0);
+    let spike: f64 = flag(flags, "spike", 0.0);
+    let dup: f64 = flag(flags, "dup", 0.0);
+    let reorder: f64 = flag(flags, "reorder", 0.0);
+    let dead: f64 = flag(flags, "dead", 0.0);
+    let policy_name: String = flag(flags, "policy", "interpolate".into());
+    let format: String = flag(flags, "format", "table".into());
+    if format != "table" && format != "json" {
+        eprintln!("unknown format '{format}' (table|json)");
+        usage();
+    }
+    for (name, rate) in [
+        ("dropout", dropout),
+        ("stuck", stuck),
+        ("spike", spike),
+        ("dup", dup),
+        ("reorder", reorder),
+        ("dead", dead),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            eprintln!("--{name} must be in [0, 1], got {rate}");
+            exit(2);
+        }
+    }
+    if seconds <= 0.0 || seconds.is_nan() {
+        eprintln!("--seconds must be positive, got {seconds}");
+        exit(2);
+    }
+    let policy = match policy_name.as_str() {
+        "hold" => RepairPolicy::Hold,
+        "interpolate" => RepairPolicy::Interpolate,
+        _ => {
+            eprintln!("unknown repair policy '{policy_name}' (hold|interpolate)");
+            usage();
+        }
+    };
+
+    let rig = CyberGloveRig::default();
+    let mut noise = NoiseSource::seeded(seed);
+    let clean = rig.record_session(seconds, 0.6, &mut noise);
+
+    let plan = SensorFaultPlan {
+        dropout_rate: dropout,
+        stuck_rate: stuck,
+        spike_rate: spike,
+        duplicate_rate: dup,
+        reorder_rate: reorder,
+        dead_channel_fraction: dead,
+        ..SensorFaultPlan::none(seed)
+    };
+    let faulty = FaultySensorRig::new(plan.clone());
+    let wire = faulty.transmit(&clean);
+
+    // A buffer the recorder cannot overrun, so the drill's numbers reflect
+    // the injected wire faults alone, not scheduling luck.
+    let config = IngestConfig {
+        repair: policy,
+        recorder: RecorderConfig { buffer_frames: 1 << 16, batch_size: 64, store_latency_us: 0 },
+        ..IngestConfig::default()
+    };
+    let out = SupervisedIngest::new(config).ingest(clean.spec(), &wire);
+
+    if plan.is_none() {
+        assert_eq!(out.stream.len(), clean.len(), "zero-fault ingest changed the frame count");
+        for t in 0..clean.len() {
+            for c in 0..clean.channels() {
+                assert_eq!(
+                    out.stream.value(t, c).to_bits(),
+                    clean.value(t, c).to_bits(),
+                    "zero-fault ingest must be bit-identical (frame {t} ch {c})"
+                );
+            }
+        }
+    }
+
+    // Repair fidelity over frames both streams share (degrade may decimate).
+    let mut err = 0.0f64;
+    let mut norm = 0.0f64;
+    if out.degrade_factor == 1 && out.stream.len() == clean.len() {
+        for t in 0..clean.len() {
+            for c in 0..clean.channels() {
+                let d = out.stream.value(t, c) - clean.value(t, c);
+                err += d * d;
+                norm += clean.value(t, c) * clean.value(t, c);
+            }
+        }
+    }
+    let rmse = if norm > 0.0 { (err / norm).sqrt() } else { 0.0 };
+
+    let total = out.quality.len() * out.quality.channels();
+    let counts: Vec<(SampleQuality, usize)> = [
+        SampleQuality::Clean,
+        SampleQuality::Repaired,
+        SampleQuality::Suspect,
+        SampleQuality::Dead,
+    ]
+    .into_iter()
+    .map(|q| (q, out.quality.count(q)))
+    .collect();
+    let dead_channels = out.dead_channels();
+    let snap = aims::telemetry::global().snapshot();
+
+    if format == "json" {
+        let quality: Vec<String> =
+            counts.iter().map(|(q, n)| format!("\"{}\":{n}", q.name())).collect();
+        let events: Vec<String> = out
+            .health_events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"frame\":{},\"channel\":{},\"from\":\"{}\",\"to\":\"{}\"}}",
+                    e.frame,
+                    e.channel,
+                    e.from.name(),
+                    e.to.name()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"policy\":\"{policy_name}\",\"dropout\":{dropout},\
+             \"stuck\":{stuck},\"spike\":{spike},\"dup\":{dup},\"reorder\":{reorder},\
+             \"dead\":{dead},\"frames\":{},\"channels\":{},\"degrade_factor\":{},\
+             \"repaired_samples\":{},\"reordered_frames\":{},\"duplicate_frames\":{},\
+             \"dropped_frames\":{},\"relative_rmse\":{rmse},\"quality\":{{{}}},\
+             \"dead_channels\":{:?},\"health_events\":[{}]}}",
+            out.stream.len(),
+            out.stream.channels(),
+            out.degrade_factor,
+            out.stats.repaired_samples,
+            out.stats.reordered_frames,
+            out.stats.duplicate_frames,
+            out.stats.dropped_frames,
+            quality.join(","),
+            dead_channels,
+            events.join(",")
+        );
+    } else {
+        println!(
+            "ingest drill: seed={seed} policy={policy_name} dropout={dropout} stuck={stuck} \
+             spike={spike} dup={dup} reorder={reorder} dead={dead}"
+        );
+        println!(
+            "  wire → stored     : {} wire frames → {} frames x {} channels (degrade x{})",
+            wire.len(),
+            out.stream.len(),
+            out.stream.channels(),
+            out.degrade_factor
+        );
+        println!(
+            "  supervisor        : {} repaired samples, {} reordered, {} duplicates, \
+             {} dropped frames",
+            out.stats.repaired_samples,
+            out.stats.reordered_frames,
+            out.stats.duplicate_frames,
+            out.stats.dropped_frames
+        );
+        let quality: Vec<String> = counts
+            .iter()
+            .map(|(q, n)| format!("{} {:.1}%", q.name(), 100.0 * *n as f64 / total.max(1) as f64))
+            .collect();
+        println!("  sample quality    : {}", quality.join(", "));
+        if plan.is_none() {
+            println!("  fidelity          : bit-identical to the clean session (verified)");
+        } else if out.degrade_factor == 1 {
+            println!("  fidelity          : {:.2}% relative RMSE vs clean session", rmse * 100.0);
+        }
+        println!(
+            "  sensor health     : {} transitions, dead channels {:?}",
+            out.health_events.len(),
+            dead_channels
+        );
+        for e in out.health_events.iter().take(12) {
+            println!(
+                "    frame {:>5} ch {:>2}: {} -> {}",
+                e.frame,
+                e.channel,
+                e.from.name(),
+                e.to.name()
+            );
+        }
+        if out.health_events.len() > 12 {
+            println!("    ... {} more", out.health_events.len() - 12);
+        }
+        println!("\n-- ingest telemetry --");
+        for name in [
+            "ingest.repaired",
+            "ingest.reordered",
+            "ingest.duplicates",
+            "ingest.dropped",
+            "ingest.sensor.dead",
+        ] {
+            println!("  {name:<28} {}", snap.counter(name));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -400,6 +622,7 @@ fn main() {
         "recognize" => cmd_recognize(&flags),
         "metrics" => cmd_metrics(&flags),
         "faults" => cmd_faults(&flags),
+        "ingest-faults" => cmd_ingest_faults(&flags),
         _ => usage(),
     }
 }

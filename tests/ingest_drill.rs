@@ -1,0 +1,134 @@
+//! The deterministic sensor-fault ingest drill.
+//!
+//! Drives the acquisition-side fault path end to end — a clean glove
+//! session replayed through a seeded faulty wire into the supervised
+//! ingest stage — and asserts the three contracts of the design:
+//!
+//! 1. **Zero-fault transparency** — with every fault rate at zero the
+//!    supervised path is bit-identical to the clean session, for any
+//!    seed.
+//! 2. **Reproducibility** — the whole fault history is a pure function
+//!    of one u64 seed: two runs agree bit-for-bit, a different seed
+//!    differs.
+//! 3. **Supervised degradation** — under a mixed fault schedule the
+//!    repaired stream keeps the clean session's shape, repairs are
+//!    counted, and a killed sensor is detected and flagged Dead.
+//!
+//! The seed is pinned via `AIMS_INGEST_FAULT_SEED` (default 2003; ci.sh
+//! also runs seeds 17 and 1017), so the drill is reproducible anywhere.
+
+use aims::acquisition::ingest::{IngestConfig, IngestOutcome, RepairPolicy, SupervisedIngest};
+use aims::acquisition::recorder::RecorderConfig;
+use aims::sensors::faulty::{FaultySensorRig, SensorFaultPlan};
+use aims::sensors::glove::CyberGloveRig;
+use aims::sensors::noise::NoiseSource;
+use aims::sensors::types::{MultiStream, SampleQuality};
+
+fn seed() -> u64 {
+    std::env::var("AIMS_INGEST_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2003)
+}
+
+fn session(seed: u64) -> MultiStream {
+    let rig = CyberGloveRig::default();
+    rig.record_session(3.0, 0.6, &mut NoiseSource::seeded(seed))
+}
+
+/// An overrun-proof recorder, so the drill measures injected faults only.
+fn config(repair: RepairPolicy) -> IngestConfig {
+    IngestConfig {
+        repair,
+        recorder: RecorderConfig { buffer_frames: 1 << 16, batch_size: 64, store_latency_us: 0 },
+        ..IngestConfig::default()
+    }
+}
+
+fn run(plan: SensorFaultPlan, repair: RepairPolicy, clean: &MultiStream) -> IngestOutcome {
+    let wire = FaultySensorRig::new(plan).transmit(clean);
+    SupervisedIngest::new(config(repair)).ingest(clean.spec(), &wire)
+}
+
+/// Contract 1: for any seed, a zero-rate plan stores the clean session
+/// bit-for-bit with nothing repaired and nothing flagged.
+#[test]
+fn zero_fault_ingest_is_bit_identical_for_any_seed() {
+    let clean = session(seed());
+    for salt in [0u64, 1, 2] {
+        let out = run(SensorFaultPlan::none(seed() ^ salt), RepairPolicy::Interpolate, &clean);
+        assert_eq!(out.stream.len(), clean.len());
+        for t in 0..clean.len() {
+            for c in 0..clean.channels() {
+                assert_eq!(
+                    out.stream.value(t, c).to_bits(),
+                    clean.value(t, c).to_bits(),
+                    "seed {} frame {t} ch {c}",
+                    seed() ^ salt
+                );
+            }
+        }
+        assert_eq!(out.stats.repaired_samples, 0);
+        assert!(out.quality.all_clean());
+    }
+}
+
+/// Contract 2: the drill is a pure function of the seed.
+#[test]
+fn ingest_drill_is_reproducible_from_the_seed() {
+    let clean = session(seed());
+    let plan = SensorFaultPlan {
+        dropout_rate: 0.1,
+        duplicate_rate: 0.05,
+        reorder_rate: 0.05,
+        dead_channel_fraction: 0.1,
+        ..SensorFaultPlan::none(seed())
+    };
+    let a = run(plan.clone(), RepairPolicy::Interpolate, &clean);
+    let b = run(plan.clone(), RepairPolicy::Interpolate, &clean);
+    assert_eq!(a.stream, b.stream);
+    assert_eq!(a.quality, b.quality);
+    assert_eq!(a.stats.repaired_samples, b.stats.repaired_samples);
+    assert_eq!(a.health_events, b.health_events);
+
+    let other = run(
+        SensorFaultPlan { seed: seed().wrapping_add(1), ..plan },
+        RepairPolicy::Interpolate,
+        &clean,
+    );
+    assert_ne!(a.stream, other.stream, "a different seed must produce different faults");
+}
+
+/// Contract 3: under a mixed schedule the supervisor keeps the grid shape,
+/// counts its repairs, and catches a killed sensor.
+#[test]
+fn mixed_faults_are_repaired_and_dead_sensors_flagged() {
+    let clean = session(seed());
+    // Find a salt whose schedule kills at least one channel, so the test
+    // exercises the death path regardless of the pinned seed.
+    let salt = (0..64)
+        .find(|&salt| {
+            let plan = SensorFaultPlan {
+                dead_channel_fraction: 0.1,
+                ..SensorFaultPlan::none(seed() ^ salt)
+            };
+            let rig = FaultySensorRig::new(plan);
+            (0..clean.channels()).any(|c| rig.is_channel_dead(c))
+        })
+        .expect("some salt within 64 should kill a channel at 10% of 28");
+    let plan = SensorFaultPlan {
+        dropout_rate: 0.1,
+        spike_rate: 0.01,
+        dead_channel_fraction: 0.1,
+        ..SensorFaultPlan::none(seed() ^ salt)
+    };
+
+    for repair in RepairPolicy::ALL {
+        let out = run(plan.clone(), repair, &clean);
+        assert_eq!(out.stream.len(), clean.len(), "grid shape must survive ({})", repair.name());
+        assert!(out.stats.repaired_samples > 0, "dropout must be repaired");
+        assert!(!out.dead_channels().is_empty(), "the killed sensor must be flagged Dead");
+        assert!(out.quality.count(SampleQuality::Dead) > 0);
+        // Every stored value is finite — repair never manufactures junk.
+        for t in 0..out.stream.len() {
+            assert!(out.stream.frame(t).iter().all(|v| v.is_finite()));
+        }
+    }
+}
