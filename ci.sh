@@ -30,6 +30,12 @@ AIMS_THREADS=1 cargo test -q
 echo "== cargo test (AIMS_THREADS=4, pooled execution layer) =="
 AIMS_THREADS=4 cargo test -q
 
+echo "== service tests (AIMS_THREADS=1, serial fan-out) =="
+AIMS_THREADS=1 cargo test -q -p aims-service
+
+echo "== service tests (AIMS_THREADS=4, pooled fan-out) =="
+AIMS_THREADS=4 cargo test -q -p aims-service
+
 echo "== fault matrix (pinned seed 13) =="
 AIMS_FAULT_SEED=13 cargo test -q --test fault_matrix
 
@@ -53,6 +59,38 @@ if [[ $fast -eq 0 ]]; then
     cargo run --release -q -p aims-bench --bin experiments -- e26
     test -f target/bench_ingest_faults.json || {
         echo "E26 did not record target/bench_ingest_faults.json" >&2
+        exit 1
+    }
+
+    echo "== bench_service (E27 shared-scan + cache gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e27
+    test -f target/bench_service.json || {
+        echo "E27 did not record target/bench_service.json" >&2
+        exit 1
+    }
+
+    echo "== aims-serve TCP smoke (loopback, clean shutdown) =="
+    cargo build --release -q -p aims-service --bin aims-serve
+    cargo build --release -q -p aims-service --example tcp_smoke
+    : > target/aims-serve.log
+    target/release/aims-serve --side 32 --block 16 > target/aims-serve.log 2>&1 &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^aims-serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            target/aims-serve.log)
+        [[ -n "$port" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+        echo "aims-serve did not report a listening port" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    target/release/examples/tcp_smoke "$port"
+    wait "$serve_pid"   # tcp_smoke sends SHUTDOWN; the server must exit 0
+    grep -q "clean shutdown" target/aims-serve.log || {
+        echo "aims-serve did not shut down cleanly" >&2
         exit 1
     }
 fi

@@ -17,6 +17,7 @@ pub mod exp_ingest_faults;
 pub mod exp_online;
 pub mod exp_parallel;
 pub mod exp_propolyne;
+pub mod exp_service;
 pub mod exp_storage;
 pub mod exp_system;
 pub mod workloads;

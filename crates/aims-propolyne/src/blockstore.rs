@@ -122,6 +122,42 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
         self.block_energy.iter().sum()
     }
 
+    /// Coefficients per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks the coefficient vector occupies.
+    pub fn num_blocks(&self) -> usize {
+        self.block_energy.len()
+    }
+
+    /// Load-time energy `Σ c²` of block `b`.
+    pub fn block_energy(&self, b: usize) -> f64 {
+        self.block_energy[b]
+    }
+
+    /// The distinct device blocks a prepared query will touch, ascending.
+    ///
+    /// This is the plan-observation hook the serving layer's shared-scan
+    /// batcher needs: overlap between concurrent queries is detected by
+    /// intersecting these sets *before* any fetch happens. Useful
+    /// standalone too — `plan_blocks(q).len()` is the exact device read
+    /// cost of a cold-cache evaluation.
+    pub fn plan_blocks(&self, prepared: &PreparedQuery) -> Vec<usize> {
+        let mut blocks: Vec<usize> = prepared
+            .entries
+            .iter()
+            .map(|&(i, _)| {
+                assert!(i < self.n, "query offset {i} out of range");
+                i / self.block_size
+            })
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
     /// Evaluates a prepared query against the device, retrying transient
     /// faults under `policy` and degrading when blocks stay unreadable.
     ///
@@ -318,6 +354,31 @@ mod tests {
                 s.guaranteed_bound
             );
         }
+    }
+
+    #[test]
+    fn plan_blocks_predicts_exact_cold_read_cost() {
+        let (engine, blocked) = engine_and_store();
+        for q in [
+            RangeSumQuery::count(vec![(0, 31), (0, 31)]),
+            RangeSumQuery::count(vec![(3, 25), (7, 19)]),
+            RangeSumQuery::count(vec![(16, 16), (0, 30)]),
+        ] {
+            let prepared = engine.prepare(&q);
+            let plan = blocked.plan_blocks(&prepared);
+            // Sorted, deduplicated, in range.
+            assert!(plan.windows(2).all(|w| w[0] < w[1]));
+            assert!(plan.iter().all(|&b| b < blocked.num_blocks()));
+            // The plan IS the cold-cache device read cost.
+            blocked.device().reset_stats();
+            let mut pool = BufferPool::new(blocked.num_blocks());
+            blocked.evaluate_degraded(&prepared, &mut pool, &RetryPolicy::none());
+            assert_eq!(blocked.device().stats().reads as usize, plan.len());
+        }
+        assert_eq!(blocked.block_size(), 16);
+        assert_eq!(blocked.num_blocks(), blocked.len().div_ceil(16));
+        let total: f64 = (0..blocked.num_blocks()).map(|b| blocked.block_energy(b)).sum();
+        assert!((total - blocked.data_energy()).abs() < 1e-9);
     }
 
     #[test]

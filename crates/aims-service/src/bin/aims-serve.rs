@@ -1,0 +1,90 @@
+//! `aims-serve` — the TCP front-end over a synthetic demo cube.
+//!
+//! Usage:
+//!   aims-serve [--port P] [--side N] [--block B] [--cache C] [--queue Q] [--seed S]
+//!
+//! Binds 127.0.0.1 (port 0 picks a free port), prints
+//! `aims-serve listening on 127.0.0.1:{port}` once ready, and runs until
+//! a client sends a SHUTDOWN frame.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use aims_dsp::filters::FilterKind;
+use aims_propolyne::DataCube;
+use aims_service::{QueryService, Server, ServiceConfig};
+
+struct Opts {
+    port: u16,
+    side: usize,
+    block: usize,
+    cache: usize,
+    queue: usize,
+    seed: u64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts { port: 0, side: 64, block: 32, cache: 256, queue: 64, seed: 41 };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--port" => opts.port = value("--port")?.parse().map_err(|e| format!("{e}"))?,
+            "--side" => opts.side = value("--side")?.parse().map_err(|e| format!("{e}"))?,
+            "--block" => opts.block = value("--block")?.parse().map_err(|e| format!("{e}"))?,
+            "--cache" => opts.cache = value("--cache")?.parse().map_err(|e| format!("{e}"))?,
+            "--queue" => opts.queue = value("--queue")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: aims-serve [--port P] [--side N] [--block B] [--cache C] [--queue Q] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The deterministic demo cube every harness in this workspace uses: an
+/// N×N grid of small pseudo-random counts from one xorshift seed.
+fn demo_cube(side: usize, seed: u64) -> aims_propolyne::WaveletCube {
+    let mut cube = DataCube::zeros(&[side, side]);
+    let mut state = seed;
+    for v in cube.values_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state % 9) as f64;
+    }
+    cube.transform(&FilterKind::Db4.filter())
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("aims-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = ServiceConfig {
+        queue_capacity: opts.queue,
+        cache_blocks: opts.cache,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(QueryService::new(demo_cube(opts.side, opts.seed), opts.block, config));
+    let server = match Server::spawn(Arc::clone(&service), &format!("127.0.0.1:{}", opts.port)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("aims-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("aims-serve listening on 127.0.0.1:{}", server.port());
+    std::io::stdout().flush().ok();
+    server.join();
+    service.shutdown();
+    println!("aims-serve: clean shutdown");
+}

@@ -1,0 +1,221 @@
+//! In-process TCP client for the wire protocol — used by `aims-cli
+//! query --connect`, the CI smoke test, and the E27 benchmark.
+//!
+//! The client is single-threaded: it reads frames in arrival order and
+//! buffers out-of-band events (refinements racing a METRICS reply, say)
+//! so request/reply helpers never drop a frame.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ServiceError;
+use crate::session::{QuerySpec, Refinement};
+use crate::wire::{read_frame, write_frame, Frame, ProgressKind};
+
+/// A client-side event: either a refinement stream element or a typed
+/// rejection.
+#[derive(Clone, Debug)]
+pub enum ClientEvent {
+    /// A PROGRESS frame.
+    Progress {
+        /// Correlation id chosen at submit.
+        req_id: u64,
+        /// Progress / terminal classification.
+        kind: ProgressKind,
+        /// The decoded refinement.
+        refinement: Refinement,
+    },
+    /// A REJECT frame.
+    Reject {
+        /// Correlation id chosen at submit.
+        req_id: u64,
+        /// [`ServiceError::code`] of the server-side error.
+        code: u8,
+        /// Error-specific detail (queue capacity for QueueFull).
+        detail: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// How a remotely-run query ended.
+#[derive(Clone, Debug)]
+pub struct RemoteOutcome {
+    /// Every refinement received, in order.
+    pub trace: Vec<Refinement>,
+    /// The terminal frame's classification (`Done`, `DeadlineExpired` or
+    /// `Cancelled`).
+    pub kind: ProgressKind,
+    /// The terminal refinement (absent for `Cancelled`).
+    pub last: Option<Refinement>,
+}
+
+/// A blocking wire-protocol client over one TCP connection.
+pub struct TcpClient {
+    stream: TcpStream,
+    buffered: VecDeque<ClientEvent>,
+}
+
+impl TcpClient {
+    /// Connects to a running `aims-serve`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpClient { stream, buffered: VecDeque::new() })
+    }
+
+    /// Sets the read timeout used by the event helpers.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Submits a query under a caller-chosen correlation id.
+    pub fn submit(&mut self, req_id: u64, spec: &QuerySpec) -> Result<(), ServiceError> {
+        let frame = Frame::Submit {
+            req_id,
+            priority: spec.priority,
+            deadline_ms: spec.deadline.map_or(0, |d| d.as_millis() as u64),
+            ranges: spec.ranges.iter().map(|&(lo, hi)| (lo as u64, hi as u64)).collect(),
+        };
+        write_frame(&mut self.stream, &frame)
+    }
+
+    /// Cancels an in-flight query.
+    pub fn cancel(&mut self, req_id: u64) -> Result<(), ServiceError> {
+        write_frame(&mut self.stream, &Frame::Cancel { req_id })
+    }
+
+    /// Next event (buffered first, then the wire).
+    pub fn next_event(&mut self) -> Result<ClientEvent, ServiceError> {
+        if let Some(e) = self.buffered.pop_front() {
+            return Ok(e);
+        }
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
+                    return Ok(ClientEvent::Progress {
+                        req_id,
+                        kind,
+                        refinement: Refinement {
+                            round,
+                            coefficients_used: used as usize,
+                            total_coefficients: total as usize,
+                            estimate,
+                            error_bound: bound,
+                        },
+                    });
+                }
+                Frame::Reject { req_id, code, detail, message } => {
+                    return Ok(ClientEvent::Reject { req_id, code, detail, message });
+                }
+                // Stray replies to an earlier request: ignore.
+                Frame::MetricsReply { .. } | Frame::Goodbye => continue,
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Requests and returns a telemetry snapshot (JSON lines). Events
+    /// arriving first are buffered for [`TcpClient::next_event`].
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        write_frame(&mut self.stream, &Frame::MetricsRequest)?;
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::MetricsReply { text } => return Ok(text),
+                Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
+                    self.buffered.push_back(ClientEvent::Progress {
+                        req_id,
+                        kind,
+                        refinement: Refinement {
+                            round,
+                            coefficients_used: used as usize,
+                            total_coefficients: total as usize,
+                            estimate,
+                            error_bound: bound,
+                        },
+                    });
+                }
+                Frame::Reject { req_id, code, detail, message } => {
+                    self.buffered.push_back(ClientEvent::Reject { req_id, code, detail, message });
+                }
+                Frame::Goodbye => continue,
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Asks the server to shut down and waits for its GOODBYE.
+    pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
+        write_frame(&mut self.stream, &Frame::Shutdown)?;
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::Goodbye => return Ok(()),
+                // Drain any in-flight refinements racing the goodbye.
+                Frame::Progress { .. } | Frame::Reject { .. } | Frame::MetricsReply { .. } => {
+                    continue;
+                }
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected frame from server: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Submits a query and drains its whole refinement stream.
+    ///
+    /// Returns the trace and terminal state; a server-side REJECT comes
+    /// back as the matching typed [`ServiceError`].
+    pub fn run_query(
+        &mut self,
+        req_id: u64,
+        spec: &QuerySpec,
+    ) -> Result<RemoteOutcome, ServiceError> {
+        self.submit(req_id, spec)?;
+        let mut trace = Vec::new();
+        loop {
+            match self.next_event()? {
+                ClientEvent::Progress { req_id: got, kind, refinement } => {
+                    if got != req_id {
+                        continue; // some other in-flight query's stream
+                    }
+                    match kind {
+                        ProgressKind::Progress => trace.push(refinement),
+                        ProgressKind::Done => {
+                            trace.push(refinement);
+                            return Ok(RemoteOutcome { trace, kind, last: Some(refinement) });
+                        }
+                        ProgressKind::DeadlineExpired => {
+                            return Ok(RemoteOutcome { trace, kind, last: Some(refinement) });
+                        }
+                        ProgressKind::Cancelled => {
+                            return Ok(RemoteOutcome { trace, kind, last: None });
+                        }
+                    }
+                }
+                ClientEvent::Reject { req_id: got, code, detail, message } => {
+                    if got != req_id {
+                        continue;
+                    }
+                    return Err(match code {
+                        1 => ServiceError::QueueFull { capacity: detail as usize },
+                        2 => ServiceError::ShuttingDown,
+                        3 => ServiceError::InvalidQuery(message),
+                        _ => ServiceError::Protocol(message),
+                    });
+                }
+            }
+        }
+    }
+}

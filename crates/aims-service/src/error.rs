@@ -1,0 +1,76 @@
+//! Typed service errors — overload and shutdown are answers, not panics.
+
+use std::fmt;
+
+/// Why the service refused or failed a request.
+///
+/// The admission controller's whole point is that overload produces a
+/// *typed* rejection the caller can react to (back off, retry with a
+/// lower priority, shed load) instead of an unbounded queue or a panic.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The bounded request queue is full; the request was not enqueued.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is draining; no new work is accepted.
+    ShuttingDown,
+    /// The query is malformed for this store (dimension mismatch,
+    /// out-of-range bounds, inverted range).
+    InvalidQuery(String),
+    /// A wire-protocol violation (bad opcode, oversized frame, truncated
+    /// payload).
+    Protocol(String),
+    /// An underlying socket error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            ServiceError::Protocol(why) => write!(f, "protocol error: {why}"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl ServiceError {
+    /// Stable numeric code used by the wire protocol's REJECT frame.
+    pub fn code(&self) -> u8 {
+        match self {
+            ServiceError::QueueFull { .. } => 1,
+            ServiceError::ShuttingDown => 2,
+            ServiceError::InvalidQuery(_) => 3,
+            ServiceError::Protocol(_) => 4,
+            ServiceError::Io(_) => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_codes_are_stable() {
+        let e = ServiceError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        assert_eq!(e.code(), 1);
+        assert_eq!(ServiceError::ShuttingDown.code(), 2);
+        assert_eq!(ServiceError::InvalidQuery(String::new()).code(), 3);
+    }
+}

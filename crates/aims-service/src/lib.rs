@@ -1,0 +1,54 @@
+//! Concurrent query-serving layer for AIMS.
+//!
+//! The paper frames ProPolyne's progressive range-sum evaluation as the
+//! interactive face of an immersidata system; this crate is the missing
+//! piece between "a library that can answer one query" and "a system
+//! serving heavy traffic from many simultaneous users" (ROADMAP north
+//! star). One [`QueryService`] multiplexes many sessions over one
+//! blocked wavelet store:
+//!
+//! - [`admission`]: a bounded two-class queue — interactive before
+//!   batch, overload rejected with typed errors
+//!   ([`ServiceError::QueueFull`]) instead of collapsing.
+//! - [`service`]: the shared-scan scheduler. Each round takes the
+//!   ascending union of the blocks all active plans still need, pulls
+//!   each hot block **once** through a sharded LRU
+//!   [`aims_storage::SharedBlockCache`], and fans per-query accumulation
+//!   out on an [`aims_exec::ThreadPool`] — final answers bit-identical
+//!   to serial evaluation for every thread count.
+//! - [`session`]: progressive delivery — monotonically refining
+//!   estimates with Cauchy–Schwarz error bounds, cancellation that
+//!   actually halts block fetches, per-query deadlines.
+//! - [`wire`] / [`server`] / [`client`]: a length-prefixed binary
+//!   protocol over std TCP (`aims-serve` binary), one worker pool shared
+//!   across connections.
+//!
+//! ```
+//! use aims_service::{QueryService, QuerySpec, ServiceConfig, Outcome};
+//! use aims_propolyne::DataCube;
+//! use aims_dsp::filters::FilterKind;
+//!
+//! let cube = DataCube::zeros(&[16, 16]).transform(&FilterKind::Haar.filter());
+//! let service = QueryService::new(cube, 8, ServiceConfig::default());
+//! let session = service.submit(QuerySpec::interactive(vec![(0, 15), (2, 13)])).unwrap();
+//! match session.wait() {
+//!     Outcome::Done(r) => assert_eq!(r.error_bound, 0.0),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod service;
+pub mod session;
+pub mod wire;
+
+pub use admission::{AdmissionController, Priority};
+pub use client::{ClientEvent, RemoteOutcome, TcpClient};
+pub use error::ServiceError;
+pub use server::Server;
+pub use service::{QueryService, ServiceConfig};
+pub use session::{Outcome, Polled, QuerySpec, Refinement, SessionHandle, Update};
+pub use wire::{Frame, ProgressKind};

@@ -1,0 +1,319 @@
+//! TCP front-end: one listener, one reader thread per connection, one
+//! [`QueryService`] (and its worker pool) shared across all of them.
+//!
+//! Each connection demultiplexes client frames: SUBMIT goes through the
+//! service's admission path (a rejection comes back as a typed REJECT
+//! frame, never a dropped connection), and every accepted session gets a
+//! forwarder thread pumping its refinements into the connection's shared
+//! writer. CANCEL flips the session's cancel flag — the scheduler stops
+//! fetching its blocks. SHUTDOWN answers GOODBYE and stops the listener.
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aims_storage::device::BlockDevice;
+use aims_telemetry::global;
+
+use crate::error::ServiceError;
+use crate::service::QueryService;
+use crate::session::{QuerySpec, Refinement, SessionHandle, Update};
+use crate::wire::{write_frame, Frame, ProgressKind, MAX_FRAME};
+
+/// How often blocked reads wake up to check the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A running TCP front-end. Dropping it stops the listener and joins
+/// every connection.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `service`.
+    pub fn spawn<D: BlockDevice + Send + Sync + 'static>(
+        service: Arc<QueryService<D>>,
+        addr: &str,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("aims-serve-accept".into())
+            .spawn(move || accept_loop(listener, service, stop2))?;
+        Ok(Server { local_addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.local_addr.port()
+    }
+
+    /// Signals the listener to stop accepting and connections to wind
+    /// down.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop (and every connection it spawned)
+    /// has exited — either via [`Server::stop`] or a client SHUTDOWN
+    /// frame.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+    }
+}
+
+fn accept_loop<D: BlockDevice + Send + Sync + 'static>(
+    listener: TcpListener,
+    service: Arc<QueryService<D>>,
+    stop: Arc<AtomicBool>,
+) {
+    let connections_counter = global().counter("service.net.connections");
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections_counter.inc();
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let handle =
+                    std::thread::Builder::new().name("aims-serve-conn".into()).spawn(move || {
+                        if let Err(e) = serve_connection(stream, service, stop) {
+                            global().counter("service.net.conn_errors").inc();
+                            // Disconnects are routine; log only real faults.
+                            if e.kind() != ErrorKind::UnexpectedEof {
+                                eprintln!("aims-serve: connection error: {e}");
+                            }
+                        }
+                    });
+                match handle {
+                    Ok(h) => workers.push(h),
+                    Err(e) => eprintln!("aims-serve: failed to spawn connection thread: {e}"),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("aims-serve: accept error: {e}");
+                break;
+            }
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for h in workers {
+        h.join().ok();
+    }
+}
+
+/// Reads `buf.len()` bytes, tolerating read-timeout wakeups so the stop
+/// flag stays responsive. `Ok(false)` means the peer closed (or stop was
+/// requested) cleanly *before* any byte of `buf` arrived.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut read = 0usize;
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return if read == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated frame"))
+                };
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) && read == 0 {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame; `Ok(None)` on clean disconnect or stop.
+fn read_frame_polled(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Frame>> {
+    let mut len = [0u8; 4];
+    if !read_full(stream, &mut len, stop)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(ErrorKind::InvalidData, format!("bad frame length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    if !read_full(stream, &mut body, stop)? {
+        return Err(io::Error::new(ErrorKind::UnexpectedEof, "truncated frame"));
+    }
+    Frame::decode_body(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))
+}
+
+fn send(writer: &Mutex<TcpStream>, frame: &Frame) -> io::Result<()> {
+    let mut w = writer.lock().unwrap();
+    write_frame(&mut *w, frame).map_err(|e| match e {
+        ServiceError::Io(io) => io,
+        other => io::Error::other(other.to_string()),
+    })
+}
+
+fn progress_frame(req_id: u64, kind: ProgressKind, r: Option<Refinement>) -> Frame {
+    let r = r.unwrap_or(Refinement {
+        round: 0,
+        coefficients_used: 0,
+        total_coefficients: 0,
+        estimate: 0.0,
+        error_bound: f64::INFINITY,
+    });
+    Frame::Progress {
+        req_id,
+        kind,
+        round: r.round,
+        used: r.coefficients_used as u64,
+        total: r.total_coefficients as u64,
+        estimate: r.estimate,
+        bound: r.error_bound,
+    }
+}
+
+/// Pumps one session's updates into the connection writer.
+fn forward_session(req_id: u64, handle: SessionHandle, writer: Arc<Mutex<TcpStream>>) {
+    loop {
+        let frame = match handle.next() {
+            Some(Update::Progress(r)) => progress_frame(req_id, ProgressKind::Progress, Some(r)),
+            Some(Update::Done(r)) => progress_frame(req_id, ProgressKind::Done, Some(r)),
+            Some(Update::DeadlineExpired(r)) => {
+                progress_frame(req_id, ProgressKind::DeadlineExpired, Some(r))
+            }
+            Some(Update::Cancelled) => progress_frame(req_id, ProgressKind::Cancelled, None),
+            // Channel closed without a terminal update (service
+            // shutdown): report it as a cancellation.
+            None => progress_frame(req_id, ProgressKind::Cancelled, None),
+        };
+        let terminal = matches!(&frame, Frame::Progress { kind, .. } if kind.is_terminal());
+        if send(&writer, &frame).is_err() {
+            // Writer gone ⇒ the client left; stop the query's I/O too.
+            handle.cancel();
+            return;
+        }
+        if terminal {
+            return;
+        }
+    }
+}
+
+fn serve_connection<D: BlockDevice + Send + Sync + 'static>(
+    mut stream: TcpStream,
+    service: Arc<QueryService<D>>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut cancels: HashMap<u64, Arc<AtomicBool>> = HashMap::new();
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    let result = loop {
+        let frame = match read_frame_polled(&mut stream, &stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        match frame {
+            Frame::Submit { req_id, priority, deadline_ms, ranges } => {
+                let mut spec = QuerySpec {
+                    ranges: ranges.iter().map(|&(lo, hi)| (lo as usize, hi as usize)).collect(),
+                    priority,
+                    deadline: None,
+                };
+                if deadline_ms > 0 {
+                    spec.deadline = Some(Duration::from_millis(deadline_ms));
+                }
+                match service.submit(spec) {
+                    Ok(handle) => {
+                        cancels.insert(req_id, Arc::clone(&handle.cancel));
+                        let writer = Arc::clone(&writer);
+                        let forwarder = std::thread::Builder::new()
+                            .name("aims-serve-fwd".into())
+                            .spawn(move || forward_session(req_id, handle, writer))
+                            .expect("failed to spawn forwarder");
+                        forwarders.push(forwarder);
+                    }
+                    Err(e) => {
+                        let detail = match &e {
+                            ServiceError::QueueFull { capacity } => *capacity as u32,
+                            _ => 0,
+                        };
+                        let reject = Frame::Reject {
+                            req_id,
+                            code: e.code(),
+                            detail,
+                            message: e.to_string(),
+                        };
+                        if let Err(io) = send(&writer, &reject) {
+                            break Err(io);
+                        }
+                    }
+                }
+            }
+            Frame::Cancel { req_id } => {
+                if let Some(flag) = cancels.get(&req_id) {
+                    flag.store(true, Ordering::SeqCst);
+                }
+            }
+            Frame::MetricsRequest => {
+                let text = global().snapshot().to_json_lines();
+                if let Err(io) = send(&writer, &Frame::MetricsReply { text }) {
+                    break Err(io);
+                }
+            }
+            Frame::Shutdown => {
+                let _ = send(&writer, &Frame::Goodbye);
+                stop.store(true, Ordering::SeqCst);
+                break Ok(());
+            }
+            // Server-bound frames only; a client sending server frames is
+            // violating the protocol.
+            other => {
+                break Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("client sent server-only frame {other:?}"),
+                ));
+            }
+        }
+    };
+    // A vanished client must not leak running queries.
+    for flag in cancels.values() {
+        if result.is_err() || stop.load(Ordering::SeqCst) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+    for f in forwarders {
+        f.join().ok();
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    result
+}

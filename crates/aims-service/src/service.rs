@@ -1,0 +1,729 @@
+//! The query service: one scheduler multiplexing many sessions over one
+//! blocked coefficient store.
+//!
+//! Execution model (one round per scheduler iteration):
+//!
+//! 1. **Admit** — pull queued tickets (interactive first) into the active
+//!    set, up to `max_batch`.
+//! 2. **Cull** — drop cancelled and deadline-expired sessions *before*
+//!    any I/O, emitting their terminal updates.
+//! 3. **Fetch (shared scan)** — take the ascending union of the blocks
+//!    every active query still needs, cap it at `round_blocks`, and pull
+//!    each block once through the [`SharedBlockCache`]. A block needed
+//!    only by cancelled queries is skipped — cancellation halts fetches.
+//! 4. **Fan out** — one compute task per query on the shared
+//!    [`ThreadPool`]; each task advances its query's running sum through
+//!    the entries whose blocks arrived this round, in ascending flat
+//!    offset order with a single accumulator.
+//! 5. **Deliver** — emit a [`Update::Progress`] (or [`Update::Done`])
+//!    refinement per query, with a Cauchy–Schwarz bound over the unseen
+//!    suffix plus a lost-block term when storage degraded.
+//!
+//! # Determinism
+//!
+//! A query's entries are consumed strictly in ascending flat-offset
+//! order (the blocked layout stores coefficient `i` at block `i / B`,
+//! offset `i % B`, so ascending blocks ⇒ ascending offsets), and each
+//! query's floating-point accumulation happens inside exactly one task
+//! with one running sum. The final estimate is therefore **bit-identical**
+//! to [`Propolyne::evaluate_prepared`] for every thread count, cache
+//! size, batch composition, and round budget — only I/O counts change.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aims_exec::{configured_threads, ThreadPool};
+use aims_propolyne::engine::PreparedQuery;
+use aims_propolyne::{BlockedCoefficients, Propolyne, RangeSumQuery, WaveletCube};
+use aims_storage::device::{BlockDevice, MemDevice, RetryPolicy};
+use aims_storage::SharedBlockCache;
+use aims_telemetry::{global, Counter, Gauge};
+
+use crate::admission::AdmissionController;
+use crate::error::ServiceError;
+use crate::session::{QuerySpec, Refinement, SessionHandle, Update};
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bounded admission queue size; submits beyond it get
+    /// [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum sessions refined concurrently per round.
+    pub max_batch: usize,
+    /// Shared block cache capacity, in blocks.
+    pub cache_blocks: usize,
+    /// Device blocks fetched per shared-scan round.
+    pub round_blocks: usize,
+    /// Retry budget for transient device faults.
+    pub retry: RetryPolicy,
+    /// Worker threads for compute fan-out; `None` follows `AIMS_THREADS`.
+    pub threads: Option<usize>,
+    /// How long the idle scheduler waits for new work per iteration.
+    pub idle_wait: Duration,
+    /// Pause inserted after every round — throttles background refinement
+    /// I/O (and gives tests a deterministic mid-flight window). Zero by
+    /// default.
+    pub round_pause: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            max_batch: 32,
+            cache_blocks: 256,
+            round_blocks: 32,
+            retry: RetryPolicy::none(),
+            threads: None,
+            idle_wait: Duration::from_millis(20),
+            round_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// Cached handles to the global `service.*` metrics.
+struct ServiceTelemetry {
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    expired: Arc<Counter>,
+    rounds: Arc<Counter>,
+    block_requests: Arc<Counter>,
+    block_fanout: Arc<Counter>,
+    active: Arc<Gauge>,
+    queue_interactive: Arc<Gauge>,
+    queue_batch: Arc<Gauge>,
+}
+
+fn service_telemetry() -> &'static ServiceTelemetry {
+    static T: OnceLock<ServiceTelemetry> = OnceLock::new();
+    T.get_or_init(|| {
+        let r = global();
+        ServiceTelemetry {
+            submitted: r.counter("service.submitted"),
+            rejected: r.counter("service.rejected"),
+            completed: r.counter("service.completed"),
+            cancelled: r.counter("service.cancelled"),
+            expired: r.counter("service.deadline_expired"),
+            rounds: r.counter("service.rounds"),
+            block_requests: r.counter("service.blocks.requested"),
+            block_fanout: r.counter("service.blocks.fanout"),
+            active: r.gauge("service.active"),
+            queue_interactive: r.gauge("service.queue.interactive"),
+            queue_batch: r.gauge("service.queue.batch"),
+        }
+    })
+}
+
+/// A queued query, built at submit time so the scheduler never touches
+/// the engine.
+struct Ticket {
+    prepared: Arc<PreparedQuery>,
+    /// Distinct blocks the plan touches, ascending.
+    plan: Arc<Vec<usize>>,
+    /// `suffix_w2[k]` = Σ of `w²` over entries `k..`.
+    suffix_w2: Arc<Vec<f64>>,
+    tx: Sender<Update>,
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+/// A ticket plus its in-flight refinement state.
+struct ActiveQuery {
+    ticket: Ticket,
+    /// Next entry index to consume (entries are ascending by offset).
+    cursor: usize,
+    /// Next plan block index to consume.
+    plan_cursor: usize,
+    /// The single running accumulator — the whole bit-identity story.
+    sum: f64,
+    lost_w2: f64,
+    lost_e2: f64,
+    lost_blocks: Vec<usize>,
+}
+
+impl ActiveQuery {
+    fn new(ticket: Ticket) -> Self {
+        ActiveQuery {
+            ticket,
+            cursor: 0,
+            plan_cursor: 0,
+            sum: 0.0,
+            lost_w2: 0.0,
+            lost_e2: 0.0,
+            lost_blocks: Vec::new(),
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.ticket.cancel.load(Ordering::SeqCst)
+    }
+
+    fn needs(&self, block: usize) -> bool {
+        self.ticket.plan[self.plan_cursor..].binary_search(&block).is_ok()
+    }
+
+    fn complete(&self) -> bool {
+        self.cursor == self.ticket.prepared.entries.len()
+    }
+
+    fn refinement(&self, round: u32, data_energy: f64) -> Refinement {
+        let clean = (self.ticket.suffix_w2[self.cursor] * data_energy).sqrt();
+        let lost = (self.lost_w2 * self.lost_e2).sqrt();
+        Refinement {
+            round,
+            coefficients_used: self.cursor,
+            total_coefficients: self.ticket.prepared.entries.len(),
+            estimate: self.sum,
+            error_bound: clean + lost,
+        }
+    }
+
+    /// Sends an update; a dropped receiver flips the cancel flag so the
+    /// next cull stops fetching on this query's behalf.
+    fn emit(&self, update: Update) {
+        if self.ticket.tx.send(update).is_err() {
+            self.ticket.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Immutable per-round compute input (everything a worker task needs,
+/// detached from the `Sender` so the batch can cross the pool).
+struct ComputeInput {
+    prepared: Arc<PreparedQuery>,
+    plan: Arc<Vec<usize>>,
+    cursor: usize,
+    plan_cursor: usize,
+    sum: f64,
+    lost_w2: f64,
+    lost_e2: f64,
+    lost_blocks: Vec<usize>,
+}
+
+struct ComputeResult {
+    cursor: usize,
+    plan_cursor: usize,
+    sum: f64,
+    lost_w2: f64,
+    lost_e2: f64,
+    lost_blocks: Vec<usize>,
+}
+
+struct Inner<D: BlockDevice + Send + Sync + 'static> {
+    engine: Propolyne,
+    blocked: BlockedCoefficients<D>,
+    cache: SharedBlockCache,
+    admission: AdmissionController<Ticket>,
+    pool: ThreadPool,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    data_energy: f64,
+}
+
+/// An embeddable concurrent query service over one wavelet store.
+///
+/// Submit [`QuerySpec`]s from any thread; a dedicated scheduler thread
+/// batches overlapping plans into shared scans and streams refinements
+/// back through [`SessionHandle`]s. Dropping the service shuts it down.
+pub struct QueryService<D: BlockDevice + Send + Sync + 'static = MemDevice> {
+    inner: Arc<Inner<D>>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryService<MemDevice> {
+    /// Builds a service over an in-memory device.
+    pub fn new(cube: WaveletCube, block_size: usize, config: ServiceConfig) -> Self {
+        QueryService::on_device(cube, block_size, config, MemDevice::new)
+    }
+}
+
+impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
+    /// Builds a service whose coefficients live on a device built by
+    /// `make(block_size, num_blocks)` — the hook for fault-injected
+    /// devices.
+    pub fn on_device(
+        cube: WaveletCube,
+        block_size: usize,
+        config: ServiceConfig,
+        make: impl FnOnce(usize, usize) -> D,
+    ) -> Self {
+        assert!(config.round_blocks > 0, "round budget must be positive");
+        assert!(config.max_batch > 0, "batch size must be positive");
+        let blocked = BlockedCoefficients::on_device(cube.coeffs(), block_size, make);
+        let engine = Propolyne::new(cube);
+        let data_energy = blocked.data_energy();
+        let threads = config.threads.unwrap_or_else(configured_threads);
+        let inner = Arc::new(Inner {
+            engine,
+            blocked,
+            cache: SharedBlockCache::new(config.cache_blocks),
+            admission: AdmissionController::new(config.queue_capacity),
+            pool: ThreadPool::new(threads),
+            config,
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            data_energy,
+        });
+        let worker = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("aims-service-scheduler".into())
+            .spawn(move || scheduler_loop(worker))
+            .expect("failed to spawn service scheduler");
+        QueryService { inner, scheduler: Mutex::new(Some(scheduler)) }
+    }
+
+    /// Dimensions of the served cube.
+    pub fn dims(&self) -> &[usize] {
+        self.inner.engine.cube().dims()
+    }
+
+    /// The in-memory engine (serial reference evaluation for tests and
+    /// benchmarks).
+    pub fn engine(&self) -> &Propolyne {
+        &self.inner.engine
+    }
+
+    /// The backing device (I/O accounting).
+    pub fn device(&self) -> &D {
+        self.inner.blocked.device()
+    }
+
+    /// The shared block cache (hit/miss accounting).
+    pub fn cache(&self) -> &SharedBlockCache {
+        &self.inner.cache
+    }
+
+    /// Queued tickets per class: `(interactive, batch)`.
+    pub fn queue_depth(&self) -> (usize, usize) {
+        self.inner.admission.depth()
+    }
+
+    /// Validates and enqueues a query. Typed failures: queue full,
+    /// shutting down, malformed ranges. Never blocks, never panics on
+    /// overload.
+    pub fn submit(&self, spec: QuerySpec) -> Result<SessionHandle, ServiceError> {
+        let t = service_telemetry();
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            t.rejected.inc();
+            return Err(ServiceError::ShuttingDown);
+        }
+        if let Err(e) = self.validate(&spec.ranges) {
+            t.rejected.inc();
+            return Err(e);
+        }
+        let prepared = self.inner.engine.prepare(&RangeSumQuery::count(spec.ranges));
+        let plan = self.inner.blocked.plan_blocks(&prepared);
+        let mut suffix_w2 = vec![0.0; prepared.entries.len() + 1];
+        for (k, &(_, w)) in prepared.entries.iter().enumerate().rev() {
+            suffix_w2[k] = suffix_w2[k + 1] + w * w;
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let ticket = Ticket {
+            prepared: Arc::new(prepared),
+            plan: Arc::new(plan),
+            suffix_w2: Arc::new(suffix_w2),
+            tx,
+            cancel: Arc::clone(&cancel),
+            deadline: spec.deadline.map(|d| Instant::now() + d),
+        };
+        match self.inner.admission.submit(ticket, spec.priority) {
+            Ok(()) => {
+                t.submitted.inc();
+                Ok(SessionHandle { id, rx, cancel })
+            }
+            Err(e) => {
+                t.rejected.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(&self, ranges: &[(usize, usize)]) -> Result<(), ServiceError> {
+        let dims = self.dims();
+        if ranges.len() != dims.len() {
+            return Err(ServiceError::InvalidQuery(format!(
+                "{} range(s) for a {}-dimensional cube",
+                ranges.len(),
+                dims.len()
+            )));
+        }
+        for (d, (&(lo, hi), &size)) in ranges.iter().zip(dims).enumerate() {
+            if lo > hi || hi >= size {
+                return Err(ServiceError::InvalidQuery(format!(
+                    "dimension {d}: range {lo}..={hi} outside 0..{size}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops accepting work, finishes in-flight sessions, and joins the
+    /// scheduler. Queued-but-unstarted tickets are dropped (their
+    /// sessions observe `Disconnected`). Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        drop(self.inner.admission.close());
+        if let Some(handle) = self.scheduler.lock().unwrap().take() {
+            handle.join().expect("service scheduler panicked");
+        }
+    }
+}
+
+impl<D: BlockDevice + Send + Sync + 'static> Drop for QueryService<D> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) {
+    let t = service_telemetry();
+    let mut active: Vec<ActiveQuery> = Vec::new();
+    let mut round: u32 = 0;
+    loop {
+        // Admit: top the active set up from the queue, interactive first.
+        let room = inner.config.max_batch.saturating_sub(active.len());
+        let wait = if active.is_empty() { inner.config.idle_wait } else { Duration::ZERO };
+        active.extend(inner.admission.drain(room, wait).into_iter().map(ActiveQuery::new));
+        let (qi, qb) = inner.admission.depth();
+        t.queue_interactive.set(qi as f64);
+        t.queue_batch.set(qb as f64);
+        t.active.set(active.len() as f64);
+        if active.is_empty() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        }
+        round += 1;
+        t.rounds.inc();
+
+        // Cull cancelled and expired sessions before any I/O.
+        let now = Instant::now();
+        active.retain(|q| {
+            if q.cancelled() {
+                q.emit(Update::Cancelled);
+                t.cancelled.inc();
+                return false;
+            }
+            if q.ticket.deadline.is_some_and(|d| now >= d) {
+                q.emit(Update::DeadlineExpired(q.refinement(round, inner.data_energy)));
+                t.expired.inc();
+                return false;
+            }
+            true
+        });
+        if active.is_empty() {
+            continue;
+        }
+
+        // Phase 1 — shared scan: ascending union of still-needed blocks,
+        // capped at the round budget, each pulled once through the cache.
+        let mut wanted: BTreeSet<usize> = BTreeSet::new();
+        for q in &active {
+            wanted.extend(q.ticket.plan[q.plan_cursor..].iter().copied());
+        }
+        let mut fetched: BTreeMap<usize, Option<Arc<Vec<f64>>>> = BTreeMap::new();
+        for b in wanted.into_iter().take(inner.config.round_blocks) {
+            // A block wanted only by since-cancelled queries is not
+            // fetched: cancellation halts I/O, not just delivery.
+            let consumers = active.iter().filter(|q| !q.cancelled() && q.needs(b)).count();
+            if consumers == 0 {
+                continue;
+            }
+            t.block_requests.inc();
+            t.block_fanout.add(consumers as u64 - 1);
+            let payload = inner
+                .cache
+                .get_or_read_with_retry(inner.blocked.device(), b, &inner.config.retry)
+                .ok();
+            if payload.is_none() {
+                global().counter("storage.degraded").inc();
+            }
+            fetched.insert(b, payload);
+        }
+
+        // Phase 2 — fan out: one task per query, input-order results,
+        // each query's sum accumulated sequentially inside its task.
+        let inputs: Vec<ComputeInput> = active
+            .iter()
+            .map(|q| ComputeInput {
+                prepared: Arc::clone(&q.ticket.prepared),
+                plan: Arc::clone(&q.ticket.plan),
+                cursor: q.cursor,
+                plan_cursor: q.plan_cursor,
+                sum: q.sum,
+                lost_w2: q.lost_w2,
+                lost_e2: q.lost_e2,
+                lost_blocks: q.lost_blocks.clone(),
+            })
+            .collect();
+        let block_size = inner.blocked.block_size();
+        let blocked = &inner.blocked;
+        let results: Vec<ComputeResult> = inner.pool.par_map(&inputs, |inp| {
+            let entries = &inp.prepared.entries;
+            let mut r = ComputeResult {
+                cursor: inp.cursor,
+                plan_cursor: inp.plan_cursor,
+                sum: inp.sum,
+                lost_w2: inp.lost_w2,
+                lost_e2: inp.lost_e2,
+                lost_blocks: inp.lost_blocks.clone(),
+            };
+            while r.cursor < entries.len() {
+                let (i, w) = entries[r.cursor];
+                match fetched.get(&(i / block_size)) {
+                    Some(Some(data)) => r.sum += w * data[i % block_size],
+                    Some(None) => {
+                        let b = i / block_size;
+                        if !r.lost_blocks.contains(&b) {
+                            r.lost_blocks.push(b);
+                            r.lost_e2 += blocked.block_energy(b);
+                        }
+                        r.lost_w2 += w * w;
+                    }
+                    None => break,
+                }
+                r.cursor += 1;
+            }
+            while r.plan_cursor < inp.plan.len() && fetched.contains_key(&inp.plan[r.plan_cursor]) {
+                r.plan_cursor += 1;
+            }
+            r
+        });
+
+        // Phase 3 — deliver refinements and retire completed sessions.
+        for (q, r) in active.iter_mut().zip(results) {
+            q.cursor = r.cursor;
+            q.plan_cursor = r.plan_cursor;
+            q.sum = r.sum;
+            q.lost_w2 = r.lost_w2;
+            q.lost_e2 = r.lost_e2;
+            q.lost_blocks = r.lost_blocks;
+            let refinement = q.refinement(round, inner.data_energy);
+            if q.complete() {
+                q.emit(Update::Done(refinement));
+                t.completed.inc();
+            } else {
+                q.emit(Update::Progress(refinement));
+            }
+        }
+        active.retain(|q| !q.complete());
+        if !inner.config.round_pause.is_zero() {
+            std::thread::sleep(inner.config.round_pause);
+        }
+    }
+    t.active.set(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Outcome;
+    use aims_dsp::filters::FilterKind;
+    use aims_propolyne::DataCube;
+    use aims_storage::faults::{FaultKind, FaultPlan, FaultyDevice};
+
+    fn demo_cube(side: usize, seed: u64) -> WaveletCube {
+        let mut cube = DataCube::zeros(&[side, side]);
+        let mut state = seed;
+        for v in cube.values_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state % 9) as f64;
+        }
+        cube.transform(&FilterKind::Db4.filter())
+    }
+
+    fn service(config: ServiceConfig) -> QueryService {
+        QueryService::new(demo_cube(32, 41), 16, config)
+    }
+
+    #[test]
+    fn single_query_is_bit_identical_to_serial() {
+        let svc = service(ServiceConfig::default());
+        for ranges in [vec![(0, 31), (0, 31)], vec![(3, 25), (7, 19)], vec![(16, 16), (0, 30)]] {
+            let prepared = svc.engine().prepare(&RangeSumQuery::count(ranges.clone()));
+            let expect = svc.engine().evaluate_prepared(&prepared);
+            let (trace, outcome) = svc.submit(QuerySpec::interactive(ranges)).unwrap().collect();
+            match outcome {
+                Outcome::Done(r) => {
+                    assert_eq!(r.estimate.to_bits(), expect.to_bits());
+                    assert_eq!(r.error_bound, 0.0);
+                    assert_eq!(r.coefficients_used, prepared.nnz());
+                }
+                other => panic!("expected Done, got {other:?}"),
+            }
+            // Bounds refine monotonically and always hold.
+            for w in trace.windows(2) {
+                assert!(w[1].error_bound <= w[0].error_bound + 1e-12);
+            }
+            for r in &trace {
+                assert!((r.estimate - expect).abs() <= r.error_bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_queries_share_device_reads() {
+        let svc = service(ServiceConfig { round_blocks: 16, ..ServiceConfig::default() });
+        // 16 queries over nearly the same region: plans overlap heavily.
+        let specs: Vec<QuerySpec> =
+            (0..16).map(|k| QuerySpec::interactive(vec![(k % 4, 28 + (k % 3)), (0, 30)])).collect();
+        let mut solo_blocks = 0usize;
+        for s in &specs {
+            let p = svc.engine().prepare(&RangeSumQuery::count(s.ranges.clone()));
+            solo_blocks += svc.inner.blocked.plan_blocks(&p).len();
+        }
+        let handles: Vec<_> = specs.iter().map(|s| svc.submit(s.clone()).unwrap()).collect();
+        for h in handles {
+            match h.wait() {
+                Outcome::Done(r) => assert_eq!(r.error_bound, 0.0),
+                other => panic!("expected Done, got {other:?}"),
+            }
+        }
+        let reads = svc.device().stats().reads as usize;
+        assert!(
+            reads * 2 <= solo_blocks,
+            "shared scan should at least halve reads: {reads} vs {solo_blocks} solo"
+        );
+    }
+
+    #[test]
+    fn queue_overload_is_a_typed_rejection_not_a_hang() {
+        let svc = service(ServiceConfig {
+            queue_capacity: 2,
+            max_batch: 1,
+            round_blocks: 1,
+            idle_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        // Flood far past capacity; every failure must be QueueFull.
+        let mut accepted = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..64 {
+            match svc.submit(QuerySpec::batch(vec![(0, 31), (0, 31)])) {
+                Ok(h) => accepted.push(h),
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert!(rejected > 0, "flooding a capacity-2 queue must reject something");
+        for h in accepted {
+            assert!(matches!(h.wait(), Outcome::Done(_)));
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_up_front() {
+        let svc = service(ServiceConfig::default());
+        for bad in [vec![(0, 31)], vec![(0, 32), (0, 31)], vec![(5, 2), (0, 31)]] {
+            assert!(matches!(
+                svc.submit(QuerySpec::interactive(bad)),
+                Err(ServiceError::InvalidQuery(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn cancellation_halts_remaining_block_fetches() {
+        // One block per round + a per-round pause gives a wide
+        // deterministic window to cancel mid-flight.
+        let svc = service(ServiceConfig {
+            round_blocks: 1,
+            max_batch: 1,
+            round_pause: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        });
+        let full = vec![(0, 31), (0, 31)];
+        let h = svc.submit(QuerySpec::interactive(full.clone())).unwrap();
+        match h.next() {
+            Some(Update::Progress(_)) => {}
+            other => panic!("expected a first refinement, got {other:?}"),
+        }
+        h.cancel();
+        let (_, outcome) = h.collect();
+        assert!(matches!(outcome, Outcome::Cancelled), "got {outcome:?}");
+        // The plan is ~dozens of blocks at one per round; cancellation
+        // must have stopped the scan far from the end.
+        let prepared = svc.engine().prepare(&RangeSumQuery::count(full));
+        let plan_len = svc.inner.blocked.plan_blocks(&prepared).len();
+        std::thread::sleep(Duration::from_millis(25));
+        let reads = svc.device().stats().reads as usize;
+        assert!(
+            reads < plan_len,
+            "cancel must halt fetches: {reads} of {plan_len} plan blocks read"
+        );
+    }
+
+    #[test]
+    fn expired_deadlines_deliver_best_effort() {
+        let svc =
+            service(ServiceConfig { round_blocks: 1, max_batch: 2, ..ServiceConfig::default() });
+        let h = svc
+            .submit(
+                QuerySpec::interactive(vec![(0, 31), (0, 31)])
+                    .with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        match h.wait() {
+            Outcome::DeadlineExpired(r) => {
+                assert!(r.coefficients_used < r.total_coefficients);
+                assert!(r.error_bound > 0.0);
+            }
+            // A very fast machine may legitimately finish within 1ms.
+            Outcome::Done(_) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_storage_widens_the_bound_but_still_answers() {
+        let cube = demo_cube(32, 77);
+        let svc = QueryService::on_device(
+            cube,
+            16,
+            ServiceConfig { retry: RetryPolicy::none(), ..ServiceConfig::default() },
+            |bs, nb| {
+                FaultyDevice::with_plan(bs, nb, FaultPlan::uniform(19, FaultKind::DeadBlock, 0.2))
+            },
+        );
+        let exact = {
+            let p = svc.engine().prepare(&RangeSumQuery::count(vec![(0, 31), (0, 31)]));
+            svc.engine().evaluate_prepared(&p)
+        };
+        match svc.submit(QuerySpec::interactive(vec![(0, 31), (0, 31)])).unwrap().wait() {
+            Outcome::Done(r) => {
+                assert!((r.estimate - exact).abs() <= r.error_bound + 1e-9);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_post_shutdown_submits_are_typed() {
+        let svc = service(ServiceConfig::default());
+        let h = svc.submit(QuerySpec::interactive(vec![(0, 31), (0, 31)])).unwrap();
+        assert!(matches!(h.wait(), Outcome::Done(_)));
+        svc.shutdown();
+        assert!(matches!(
+            svc.submit(QuerySpec::interactive(vec![(0, 31), (0, 31)])),
+            Err(ServiceError::ShuttingDown)
+        ));
+        svc.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,240 @@
+//! Session-side types: query specs, refinement updates, and the handle a
+//! caller polls while the scheduler refines their answer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::admission::Priority;
+
+/// A range-sum (COUNT-weighted) query plus its scheduling class and
+/// optional deadline.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Inclusive `(lo, hi)` bounds per cube dimension.
+    pub ranges: Vec<(usize, usize)>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Wall-clock budget from submission; `None` runs to completion.
+    pub deadline: Option<Duration>,
+}
+
+impl QuerySpec {
+    /// An interactive query with no deadline.
+    pub fn interactive(ranges: Vec<(usize, usize)>) -> Self {
+        QuerySpec { ranges, priority: Priority::Interactive, deadline: None }
+    }
+
+    /// A batch query with no deadline.
+    pub fn batch(ranges: Vec<(usize, usize)>) -> Self {
+        QuerySpec { ranges, priority: Priority::Batch, deadline: None }
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// One monotonically refining estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Refinement {
+    /// Scheduler round that produced this update.
+    pub round: u32,
+    /// Query coefficients consumed so far.
+    pub coefficients_used: usize,
+    /// Total query coefficients.
+    pub total_coefficients: usize,
+    /// Running estimate (bit-identical to serial evaluation at `Done`).
+    pub estimate: f64,
+    /// Guaranteed bound on `|estimate − exact|` (Cauchy–Schwarz over the
+    /// unseen suffix, plus a lost-block term if storage degraded).
+    pub error_bound: f64,
+}
+
+impl Refinement {
+    /// Fraction of query coefficients consumed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total_coefficients == 0 {
+            1.0
+        } else {
+            self.coefficients_used as f64 / self.total_coefficients as f64
+        }
+    }
+}
+
+/// An event delivered to a session.
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// A refinement; more will follow.
+    Progress(Refinement),
+    /// The final answer; the channel closes after this.
+    Done(Refinement),
+    /// The deadline passed; this is the best estimate at expiry.
+    DeadlineExpired(Refinement),
+    /// The session was cancelled before completion.
+    Cancelled,
+}
+
+/// How a session ended.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Ran to completion.
+    Done(Refinement),
+    /// Deadline hit first; carries the best estimate at expiry.
+    DeadlineExpired(Refinement),
+    /// Cancelled mid-flight.
+    Cancelled,
+    /// The service dropped the session without a terminal update
+    /// (shutdown drained the queue).
+    Disconnected,
+}
+
+/// Result of a bounded wait on a session ([`SessionHandle::next_timeout`]).
+#[derive(Clone, Debug)]
+pub enum Polled {
+    /// An update arrived.
+    Update(Update),
+    /// The channel closed (after a terminal update, or on shutdown).
+    Closed,
+    /// Nothing arrived within the timeout.
+    TimedOut,
+}
+
+/// The caller's side of a submitted query.
+///
+/// Updates arrive on an unbounded channel so a slow consumer never stalls
+/// the scheduler. Dropping the handle implicitly cancels the query: the
+/// scheduler notices the closed channel-or-cancel flag and stops fetching
+/// blocks on its behalf.
+#[derive(Debug)]
+pub struct SessionHandle {
+    pub(crate) id: u64,
+    pub(crate) rx: Receiver<Update>,
+    pub(crate) cancel: Arc<AtomicBool>,
+}
+
+impl SessionHandle {
+    /// Service-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation. Idempotent; the scheduler stops fetching
+    /// blocks this query needed and emits [`Update::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Blocks for the next update; `None` once the service closed the
+    /// channel (after a terminal update, or on shutdown).
+    pub fn next(&self) -> Option<Update> {
+        self.rx.recv().ok()
+    }
+
+    /// Like [`SessionHandle::next`] with a timeout.
+    pub fn next_timeout(&self, timeout: Duration) -> Polled {
+        match self.rx.recv_timeout(timeout) {
+            Ok(u) => Polled::Update(u),
+            Err(RecvTimeoutError::Disconnected) => Polled::Closed,
+            Err(RecvTimeoutError::Timeout) => Polled::TimedOut,
+        }
+    }
+
+    /// Drains updates until the session ends, returning every refinement
+    /// seen plus the terminal outcome.
+    pub fn collect(self) -> (Vec<Refinement>, Outcome) {
+        let mut trace = Vec::new();
+        loop {
+            match self.rx.recv() {
+                Ok(Update::Progress(r)) => trace.push(r),
+                Ok(Update::Done(r)) => {
+                    trace.push(r);
+                    return (trace, Outcome::Done(r));
+                }
+                Ok(Update::DeadlineExpired(r)) => return (trace, Outcome::DeadlineExpired(r)),
+                Ok(Update::Cancelled) => return (trace, Outcome::Cancelled),
+                Err(_) => return (trace, Outcome::Disconnected),
+            }
+        }
+    }
+
+    /// Runs the session to its end, returning just the outcome.
+    pub fn wait(self) -> Outcome {
+        self.collect().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn refinement(used: usize, total: usize) -> Refinement {
+        Refinement {
+            round: 1,
+            coefficients_used: used,
+            total_coefficients: total,
+            estimate: 1.5,
+            error_bound: 0.25,
+        }
+    }
+
+    #[test]
+    fn collect_gathers_trace_and_outcome() {
+        let (tx, rx) = mpsc::channel();
+        let handle = SessionHandle { id: 7, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        tx.send(Update::Progress(refinement(1, 3))).unwrap();
+        tx.send(Update::Progress(refinement(2, 3))).unwrap();
+        tx.send(Update::Done(refinement(3, 3))).unwrap();
+        drop(tx);
+        let (trace, outcome) = handle.collect();
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(outcome, Outcome::Done(r) if r.coefficients_used == 3));
+    }
+
+    #[test]
+    fn dropped_sender_is_disconnected() {
+        let (tx, rx) = mpsc::channel::<Update>();
+        let handle = SessionHandle { id: 1, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        drop(tx);
+        assert!(matches!(handle.wait(), Outcome::Disconnected));
+    }
+
+    #[test]
+    fn progress_fraction() {
+        assert_eq!(refinement(1, 4).progress(), 0.25);
+        assert_eq!(refinement(0, 0).progress(), 1.0);
+    }
+
+    #[test]
+    fn next_timeout_distinguishes_update_timeout_and_close() {
+        let (tx, rx) = mpsc::channel();
+        let handle = SessionHandle { id: 3, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        assert!(matches!(handle.next_timeout(Duration::from_millis(1)), Polled::TimedOut));
+        tx.send(Update::Cancelled).unwrap();
+        assert!(matches!(
+            handle.next_timeout(Duration::from_millis(50)),
+            Polled::Update(Update::Cancelled)
+        ));
+        drop(tx);
+        assert!(matches!(handle.next_timeout(Duration::from_millis(50)), Polled::Closed));
+    }
+
+    #[test]
+    fn cancel_flag_is_shared() {
+        let (_tx, rx) = mpsc::channel::<Update>();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let handle = SessionHandle { id: 2, rx, cancel: Arc::clone(&cancel) };
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(cancel.load(Ordering::SeqCst));
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::{Arc, OnceLock};
 
 use aims_telemetry::{global, Counter, Gauge};
 
+use crate::cache::SharedBlockCache;
 use crate::device::{BlockDevice, ReadError, ReadErrorKind, RetryPolicy};
 
 /// Cached handles to the global `storage.pool.*` metrics. Every pool in
@@ -96,6 +97,8 @@ pub struct BufferPool {
     capacity: usize,
     /// block id → (data, last-use tick)
     cache: HashMap<usize, (Vec<f64>, u64)>,
+    /// Optional process-shared second-level cache consulted on local miss.
+    shared: Option<Arc<SharedBlockCache>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -109,7 +112,34 @@ impl BufferPool {
     /// If `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
-        BufferPool { capacity, cache: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
+        BufferPool {
+            capacity,
+            cache: HashMap::new(),
+            shared: None,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a pool layered over a process-shared [`SharedBlockCache`]:
+    /// local misses consult the shared cache before touching the device,
+    /// and verified device reads are published back into it, so sibling
+    /// pools (concurrent sessions) fetch each hot block from the device
+    /// once.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn with_shared_cache(capacity: usize, shared: Arc<SharedBlockCache>) -> Self {
+        let mut pool = BufferPool::new(capacity);
+        pool.shared = Some(shared);
+        pool
+    }
+
+    /// The shared second-level cache this pool is layered over, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedBlockCache>> {
+        self.shared.as_ref()
     }
 
     /// Fetches a block through the cache with no retries (a single device
@@ -147,6 +177,12 @@ impl BufferPool {
         telemetry.misses.inc();
         publish_hit_ratio(telemetry);
 
+        // Second level: the process-shared cache, filled by sibling pools.
+        if let Some(data) = self.shared.as_ref().and_then(|shared| shared.lookup(id)) {
+            self.admit(id, data.as_ref().clone(), tick, telemetry);
+            return Ok(&self.cache[&id].0);
+        }
+
         let mut attempt = 0usize;
         let data = loop {
             match device.read_block(id) {
@@ -168,8 +204,17 @@ impl BufferPool {
                 }
             }
         };
+        if let Some(shared) = &self.shared {
+            shared.insert(id, Arc::new(data.clone()));
+        }
+        self.admit(id, data, tick, telemetry);
+        Ok(&self.cache[&id].0)
+    }
+
+    /// Admits a verified payload into the local LRU map, evicting the
+    /// least recently used entry at capacity.
+    fn admit(&mut self, id: usize, data: Vec<f64>, tick: u64, telemetry: &PoolTelemetry) {
         if self.cache.len() >= self.capacity {
-            // Evict the least recently used entry.
             if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, last))| *last) {
                 self.cache.remove(&victim);
                 self.evictions += 1;
@@ -177,7 +222,6 @@ impl BufferPool {
             }
         }
         self.cache.insert(id, (data, tick));
-        Ok(&self.cache[&id].0)
     }
 
     /// Drops all cached blocks (keeps statistics).
@@ -316,6 +360,43 @@ mod tests {
         assert_eq!(err.kind, ReadErrorKind::Corrupt);
         assert_eq!(err.block, 0);
         assert_eq!(pool.resident(), 0, "corrupt payloads must never enter the cache");
+    }
+
+    #[test]
+    fn sibling_pools_share_device_reads_through_the_shared_cache() {
+        let d = device();
+        let shared = Arc::new(SharedBlockCache::new(8));
+        let mut a = BufferPool::new(2); // no shared cache: reads the device
+        let mut b = BufferPool::with_shared_cache(2, Arc::clone(&shared));
+        let mut c = BufferPool::with_shared_cache(2, Arc::clone(&shared));
+
+        assert_eq!(a.get(&d, 0).unwrap(), &[0.0, 0.5]);
+        assert_eq!(b.get(&d, 0).unwrap(), &[0.0, 0.5]);
+        assert_eq!(d.stats().reads, 2, "a and b each read block 0 once");
+
+        // c misses locally but finds b's read in the shared cache.
+        assert_eq!(c.get(&d, 0).unwrap(), &[0.0, 0.5]);
+        assert_eq!(d.stats().reads, 2, "shared cache absorbed c's miss");
+        assert_eq!(c.stats().misses, 1, "still a local miss for c");
+        assert_eq!(shared.stats().hits, 1);
+
+        // And c now holds it locally: a further touch is a pure local hit.
+        assert_eq!(c.get(&d, 0).unwrap(), &[0.0, 0.5]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(shared.stats().hits, 1, "local hit never reaches the shared cache");
+    }
+
+    #[test]
+    fn shared_cache_never_holds_failed_reads_from_pools() {
+        let mut faulty =
+            FaultyDevice::with_plan(2, 2, FaultPlan::uniform(5, FaultKind::BitFlip, 1.0));
+        faulty.write_block(0, &[1.0, 2.0]);
+        let shared = Arc::new(SharedBlockCache::new(4));
+        let mut pool = BufferPool::with_shared_cache(2, Arc::clone(&shared));
+        let err = pool.get_with_retry(&faulty, 0, &RetryPolicy::with_retries(1)).unwrap_err();
+        assert_eq!(err.kind, ReadErrorKind::Corrupt);
+        assert_eq!(shared.resident(), 0);
+        assert_eq!(pool.resident(), 0);
     }
 
     #[test]

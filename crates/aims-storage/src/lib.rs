@@ -20,6 +20,10 @@
 //!   blocks, latency — reproducible from a single u64 seed.
 //! - [`buffer`]: an LRU buffer pool with hit/miss accounting and the
 //!   bounded retry-with-backoff read path.
+//! - [`cache`]: a process-shared, sharded LRU block cache
+//!   ([`SharedBlockCache`]) that sits *under* the per-query buffer pools,
+//!   so concurrent sessions touching the same hot blocks read the device
+//!   once.
 //! - [`error_tree`]: the dependency structure of the flat DWT layout and
 //!   the ancestor-closed access sets of point and range queries.
 //! - [`alloc`]: block-allocation strategies — sequential, random,
@@ -35,6 +39,7 @@
 
 pub mod alloc;
 pub mod buffer;
+pub mod cache;
 pub mod device;
 pub mod error_tree;
 pub mod faults;
@@ -44,6 +49,7 @@ pub mod store;
 
 pub use alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 pub use buffer::BufferPool;
+pub use cache::{CacheStats, SharedBlockCache};
 pub use device::{
     fnv1a_f64, BlockDevice, DeviceStats, MemDevice, ReadError, ReadErrorKind, RetryPolicy,
 };

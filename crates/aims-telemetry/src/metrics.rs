@@ -136,17 +136,20 @@ impl Histogram {
         1 + octave * SUB + sub.min(SUB - 1)
     }
 
-    /// Lower and upper value edges of a bucket.
+    /// Lower and upper value edges of a bucket — the exact inverse of
+    /// `bucket_index`'s sub mapping, including octaves narrower than
+    /// `SUB` where the sub steps are fractional (e.g. v=3 lands in
+    /// octave 1, sub 2, whose true edges are [3, 4)).
     fn bucket_bounds(index: usize) -> (u64, u64) {
         if index == 0 {
             return (0, 0);
         }
         let octave = (index - 1) / SUB;
-        let sub = ((index - 1) % SUB) as u64;
+        let sub = ((index - 1) % SUB) as u128;
         let base = 1u64 << octave;
-        let step = (base / SUB as u64).max(1);
-        let lo = base + sub * step;
-        let hi = if sub as usize == SUB - 1 { base.saturating_mul(2) } else { lo + step };
+        let edge = |s: u128| base + (s * base as u128).div_ceil(SUB as u128) as u64;
+        let lo = edge(sub);
+        let hi = if sub as usize == SUB - 1 { base.saturating_mul(2) } else { edge(sub + 1) };
         (lo, hi.max(lo + 1))
     }
 

@@ -59,6 +59,12 @@ impl MetricsRegistry {
     }
 
     /// Point-in-time snapshot of every registered metric.
+    ///
+    /// The maps are re-enumerated on every call — metrics registered
+    /// *after* an earlier snapshot (a service's late-bound gauges, say)
+    /// always appear in later ones. Snapshots must never memoize the
+    /// name set; `aims-cli metrics` and the service's METRICS frame rely
+    /// on this.
     pub fn snapshot(&self) -> Snapshot {
         let counters =
             self.counters.read().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
@@ -115,6 +121,39 @@ mod tests {
         assert_eq!(s.counter("x.count"), 1);
         assert_eq!(s.gauge("x.level"), Some(2.5));
         assert_eq!(s.histogram("x.lat.ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn gauges_registered_after_a_snapshot_appear_in_later_snapshots() {
+        // Regression: a snapshot must re-enumerate the registry, not
+        // memoize the name set it saw first. (This once bit `aims-cli
+        // metrics`, which takes a snapshot at startup and again after
+        // running work that registers new gauges.)
+        let r = MetricsRegistry::new();
+        r.gauge("early.level").set(1.0);
+        let first = r.snapshot();
+        assert_eq!(first.gauge("early.level"), Some(1.0));
+        assert_eq!(first.gauge("late.level"), None);
+
+        r.gauge("late.level").set(7.5);
+        r.counter("late.count").inc();
+        r.histogram("late.lat.ns").record(42);
+        let second = r.snapshot();
+        assert_eq!(second.gauge("late.level"), Some(7.5));
+        assert_eq!(second.counter("late.count"), 1);
+        assert_eq!(second.histogram("late.lat.ns").unwrap().count, 1);
+        // And the earlier snapshot is a true point-in-time value object:
+        // registering more metrics must not mutate it retroactively.
+        assert_eq!(first.gauge("late.level"), None);
+    }
+
+    #[test]
+    fn global_registry_snapshots_reenumerate_too() {
+        let name = "telemetry.test.late_gauge_reenumeration";
+        let before = crate::global().snapshot();
+        assert_eq!(before.gauge(name), None, "test gauge unexpectedly pre-registered");
+        crate::global().gauge(name).set(3.25);
+        assert_eq!(crate::global().snapshot().gauge(name), Some(3.25));
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! aims-cli generate  --seconds 10 --activity 0.6 --seed 7 --out session.csv
 //! aims-cli ingest    --input session.csv [--strategy adaptive|fixed|modified-fixed|grouped]
 //! aims-cli query     --input session.csv --channel 0 --from 1.0 --to 4.0 [--op avg|sum|point]
+//! aims-cli serve     [--port 0] [--side 64] [--block 32] [--cache 256] [--queue 64] [--seed 41]
+//! aims-cli query     --connect 127.0.0.1:PORT --ranges 0:31,0:31 \
+//!                    [--priority interactive|batch] [--deadline-ms N]
 //! aims-cli recognize --signs 8 --sentence 12 --seed 3
 //! aims-cli metrics   --seconds 2 --seed 7 [--format table|json]
 //! aims-cli faults    --seed 41378 --rate 0.3 --kind read|flip|torn|dead \
@@ -28,7 +31,10 @@
 //! `ingest-faults` is the acquisition-side twin — it replays a glove
 //! session through a seeded faulty sensor link into the supervised ingest
 //! stage and reports repairs, reordering, health transitions and the
-//! `ingest.*` telemetry.
+//! `ingest.*` telemetry; `serve` runs the concurrent query service over a
+//! demo cube behind the `aims-serve` TCP protocol, and `query --connect`
+//! drives a progressive range sum against a running server, printing the
+//! refinement trace.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -43,12 +49,16 @@ use aims::{AimsConfig, AimsSystem};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aims-cli <generate|ingest|query|recognize|metrics|faults|ingest-faults> \
+        "usage: aims-cli <generate|ingest|query|serve|recognize|metrics|faults|ingest-faults> \
 [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
          ingest    --input <file> [--strategy adaptive|fixed|modified-fixed|grouped]\n\
          query     --input <file> --channel <n> --from <s> --to <s> [--op avg|sum|point]\n\
+         query     --connect <host:port> --ranges <lo:hi,lo:hi> \
+[--priority interactive|batch] [--deadline-ms <n>]\n\
+         serve     [--port <n>] [--side <n>] [--block <n>] [--cache <n>] [--queue <n>] \
+[--seed <n>]\n\
          recognize --signs <n> --sentence <n> --seed <n>\n\
          metrics   --seconds <f> --seed <n> [--format table|json]\n\
          faults    --seed <n> --rate <0..1> --kind read|flip|torn|dead \
@@ -164,7 +174,118 @@ fn cmd_ingest(flags: &HashMap<String, String>) {
     println!("  reconstruction : {:.2}% relative RMSE", report.sampling_rmse * 100.0);
 }
 
+/// Spins up the concurrent query service over the workspace's demo cube
+/// and serves the `aims-serve` wire protocol until a client SHUTDOWN.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    use aims::dsp::filters::FilterKind;
+    use aims::propolyne::DataCube;
+    use aims::service::{QueryService, Server, ServiceConfig};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let port: u16 = flag(flags, "port", 0);
+    let side: usize = flag(flags, "side", 64);
+    let block: usize = flag(flags, "block", 32);
+    let cache: usize = flag(flags, "cache", 256);
+    let queue: usize = flag(flags, "queue", 64);
+    let seed: u64 = flag(flags, "seed", 41);
+
+    let mut cube = DataCube::zeros(&[side, side]);
+    let mut state = seed.max(1);
+    for v in cube.values_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state % 9) as f64;
+    }
+    let cube = cube.transform(&FilterKind::Db4.filter());
+    let config =
+        ServiceConfig { queue_capacity: queue, cache_blocks: cache, ..ServiceConfig::default() };
+    let service = Arc::new(QueryService::new(cube, block, config));
+    let server =
+        Server::spawn(Arc::clone(&service), &format!("127.0.0.1:{port}")).unwrap_or_else(|e| {
+            eprintln!("serve: bind failed: {e}");
+            exit(1);
+        });
+    println!("aims-serve listening on 127.0.0.1:{}", server.port());
+    std::io::stdout().flush().ok();
+    server.join();
+    service.shutdown();
+    println!("aims-serve: clean shutdown");
+}
+
+/// Drives one progressive range sum against a running server and prints
+/// the refinement trace.
+fn cmd_query_remote(flags: &HashMap<String, String>, connect: &str) {
+    use aims::service::{ProgressKind, QuerySpec, TcpClient};
+
+    let ranges_text = required(flags, "ranges");
+    let ranges: Vec<(usize, usize)> = ranges_text
+        .split(',')
+        .map(|pair| {
+            let Some((lo, hi)) = pair.split_once(':') else {
+                eprintln!("--ranges: expected lo:hi, got '{pair}'");
+                usage();
+            };
+            match (lo.parse(), hi.parse()) {
+                (Ok(lo), Ok(hi)) => (lo, hi),
+                _ => {
+                    eprintln!("--ranges: cannot parse '{pair}'");
+                    usage();
+                }
+            }
+        })
+        .collect();
+    let priority: String = flag(flags, "priority", "interactive".into());
+    let deadline_ms: u64 = flag(flags, "deadline-ms", 0);
+    let mut spec = match priority.as_str() {
+        "interactive" => QuerySpec::interactive(ranges),
+        "batch" => QuerySpec::batch(ranges),
+        _ => {
+            eprintln!("unknown priority '{priority}' (interactive|batch)");
+            usage();
+        }
+    };
+    if deadline_ms > 0 {
+        spec = spec.with_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+
+    let mut client = TcpClient::connect(connect).unwrap_or_else(|e| {
+        eprintln!("query: cannot connect to {connect}: {e}");
+        exit(1);
+    });
+    let out = client.run_query(1, &spec).unwrap_or_else(|e| {
+        eprintln!("query: {e}");
+        exit(1);
+    });
+    for r in &out.trace {
+        println!(
+            "  round {:>3}: {:>6}/{:<6} coefficients, estimate {:.4} (bound {:.4})",
+            r.round, r.coefficients_used, r.total_coefficients, r.estimate, r.error_bound
+        );
+    }
+    match (out.kind, out.last) {
+        (ProgressKind::Done, Some(r)) => {
+            println!("done: {} = {:.4} (exact)", ranges_text, r.estimate);
+        }
+        (ProgressKind::DeadlineExpired, Some(r)) => {
+            println!(
+                "deadline expired: {} = {:.4} +/- {:.4}",
+                ranges_text, r.estimate, r.error_bound
+            );
+        }
+        (kind, _) => {
+            eprintln!("query ended without an answer: {kind:?}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_query(flags: &HashMap<String, String>) {
+    if let Some(connect) = flags.get("connect") {
+        let connect = connect.clone();
+        return cmd_query_remote(flags, &connect);
+    }
     let session = load_stream(flags);
     let channel: usize = flag(flags, "channel", 0);
     let from: f64 = flag(flags, "from", 0.0);
@@ -619,6 +740,7 @@ fn main() {
         "generate" => cmd_generate(&flags),
         "ingest" => cmd_ingest(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
         "recognize" => cmd_recognize(&flags),
         "metrics" => cmd_metrics(&flags),
         "faults" => cmd_faults(&flags),
