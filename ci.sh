@@ -69,6 +69,29 @@ if [[ $fast -eq 0 ]]; then
         exit 1
     }
 
+    echo "== bench_trace (E28 tracing overhead + profile fidelity gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e28
+    test -f target/bench_trace.json || {
+        echo "E28 did not record target/bench_trace.json" >&2
+        exit 1
+    }
+    # The exported flight-recorder trace must be valid Chrome trace-event
+    # JSON (loadable in about:tracing / Perfetto).
+    python3 - <<'EOF'
+import json
+with open("target/trace_e28.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "chrome trace export has no events"
+for e in events:
+    for key in ("name", "ph", "ts", "pid", "tid"):
+        assert key in e, f"chrome trace event missing {key}: {e}"
+print(f"chrome trace OK: {len(events)} events")
+EOF
+
+    echo "== perf trajectory gate (trend vs BENCH_TRAJECTORY.json) =="
+    cargo run --release -q -p aims-bench --bin trend -- check
+
     echo "== aims-serve TCP smoke (loopback, clean shutdown) =="
     cargo build --release -q -p aims-service --bin aims-serve
     cargo build --release -q -p aims-service --example tcp_smoke

@@ -8,7 +8,7 @@
 
 use aims_bench::{
     exp_acquisition, exp_adhd, exp_extensions, exp_faults, exp_ingest_faults, exp_online,
-    exp_parallel, exp_propolyne, exp_service, exp_storage, exp_system,
+    exp_parallel, exp_propolyne, exp_service, exp_storage, exp_system, exp_trace,
 };
 
 type Experiment = (&'static str, fn());
@@ -41,6 +41,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e25", exp_faults::e25_fault_degradation),
     ("e26", exp_ingest_faults::e26_ingest_faults),
     ("e27", exp_service::e27_service_sharing),
+    ("e28", exp_trace::e28_tracing_overhead),
 ];
 
 fn main() {

@@ -11,11 +11,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::error::ServiceError;
+use crate::profile::QueryProfile;
 use crate::session::{QuerySpec, Refinement};
 use crate::wire::{read_frame, write_frame, Frame, ProgressKind};
 
-/// A client-side event: either a refinement stream element or a typed
-/// rejection.
+/// A client-side event: a refinement stream element, a typed rejection,
+/// or a traced query's profile.
 #[derive(Clone, Debug)]
 pub enum ClientEvent {
     /// A PROGRESS frame.
@@ -38,6 +39,14 @@ pub enum ClientEvent {
         /// Human-readable reason.
         message: String,
     },
+    /// A PROFILE frame (traced queries, just before their terminal
+    /// PROGRESS).
+    Profile {
+        /// Correlation id chosen at submit.
+        req_id: u64,
+        /// Server-side cost attribution.
+        profile: QueryProfile,
+    },
 }
 
 /// How a remotely-run query ended.
@@ -50,6 +59,8 @@ pub struct RemoteOutcome {
     pub kind: ProgressKind,
     /// The terminal refinement (absent for `Cancelled`).
     pub last: Option<Refinement>,
+    /// The query's profile, when it was submitted with tracing.
+    pub profile: Option<QueryProfile>,
 }
 
 /// A blocking wire-protocol client over one TCP connection.
@@ -78,6 +89,7 @@ impl TcpClient {
             priority: spec.priority,
             deadline_ms: spec.deadline.map_or(0, |d| d.as_millis() as u64),
             ranges: spec.ranges.iter().map(|&(lo, hi)| (lo as u64, hi as u64)).collect(),
+            trace: spec.trace,
         };
         write_frame(&mut self.stream, &frame)
     }
@@ -110,6 +122,9 @@ impl TcpClient {
                 Frame::Reject { req_id, code, detail, message } => {
                     return Ok(ClientEvent::Reject { req_id, code, detail, message });
                 }
+                Frame::Profile { req_id, profile } => {
+                    return Ok(ClientEvent::Profile { req_id, profile });
+                }
                 // Stray replies to an earlier request: ignore.
                 Frame::MetricsReply { .. } | Frame::Goodbye => continue,
                 other => {
@@ -121,13 +136,14 @@ impl TcpClient {
         }
     }
 
-    /// Requests and returns a telemetry snapshot (JSON lines). Events
-    /// arriving first are buffered for [`TcpClient::next_event`].
+    /// Requests and returns a telemetry snapshot (JSON lines: registry
+    /// metrics plus `{"kind":"session",..}` rows). Events arriving first
+    /// are buffered for [`TcpClient::next_event`].
     pub fn metrics(&mut self) -> Result<String, ServiceError> {
         write_frame(&mut self.stream, &Frame::MetricsRequest)?;
         loop {
             match read_frame(&mut self.stream)? {
-                Frame::MetricsReply { text } => return Ok(text),
+                Frame::MetricsReply { json } => return Ok(json),
                 Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
                     self.buffered.push_back(ClientEvent::Progress {
                         req_id,
@@ -143,6 +159,9 @@ impl TcpClient {
                 }
                 Frame::Reject { req_id, code, detail, message } => {
                     self.buffered.push_back(ClientEvent::Reject { req_id, code, detail, message });
+                }
+                Frame::Profile { req_id, profile } => {
+                    self.buffered.push_back(ClientEvent::Profile { req_id, profile });
                 }
                 Frame::Goodbye => continue,
                 other => {
@@ -161,7 +180,10 @@ impl TcpClient {
             match read_frame(&mut self.stream)? {
                 Frame::Goodbye => return Ok(()),
                 // Drain any in-flight refinements racing the goodbye.
-                Frame::Progress { .. } | Frame::Reject { .. } | Frame::MetricsReply { .. } => {
+                Frame::Progress { .. }
+                | Frame::Reject { .. }
+                | Frame::MetricsReply { .. }
+                | Frame::Profile { .. } => {
                     continue;
                 }
                 other => {
@@ -184,6 +206,7 @@ impl TcpClient {
     ) -> Result<RemoteOutcome, ServiceError> {
         self.submit(req_id, spec)?;
         let mut trace = Vec::new();
+        let mut profile = None;
         loop {
             match self.next_event()? {
                 ClientEvent::Progress { req_id: got, kind, refinement } => {
@@ -194,14 +217,29 @@ impl TcpClient {
                         ProgressKind::Progress => trace.push(refinement),
                         ProgressKind::Done => {
                             trace.push(refinement);
-                            return Ok(RemoteOutcome { trace, kind, last: Some(refinement) });
+                            return Ok(RemoteOutcome {
+                                trace,
+                                kind,
+                                last: Some(refinement),
+                                profile,
+                            });
                         }
                         ProgressKind::DeadlineExpired => {
-                            return Ok(RemoteOutcome { trace, kind, last: Some(refinement) });
+                            return Ok(RemoteOutcome {
+                                trace,
+                                kind,
+                                last: Some(refinement),
+                                profile,
+                            });
                         }
                         ProgressKind::Cancelled => {
-                            return Ok(RemoteOutcome { trace, kind, last: None });
+                            return Ok(RemoteOutcome { trace, kind, last: None, profile });
                         }
+                    }
+                }
+                ClientEvent::Profile { req_id: got, profile: p } => {
+                    if got == req_id {
+                        profile = Some(p);
                     }
                 }
                 ClientEvent::Reject { req_id: got, code, detail, message } => {

@@ -19,6 +19,11 @@
 //! - [`session`]: progressive delivery — monotonically refining
 //!   estimates with Cauchy–Schwarz error bounds, cancellation that
 //!   actually halts block fetches, per-query deadlines.
+//! - [`profile`]: per-query cost attribution — every traced (or slow)
+//!   query yields a [`QueryProfile`] with queue wait, block/cache/retry
+//!   accounting, degraded-block count, and the per-round error-bound
+//!   trajectory; threshold-tripping queries land in a bounded
+//!   [`SlowQueryLog`].
 //! - [`wire`] / [`server`] / [`client`]: a length-prefixed binary
 //!   protocol over std TCP (`aims-serve` binary), one worker pool shared
 //!   across connections.
@@ -40,6 +45,7 @@
 pub mod admission;
 pub mod client;
 pub mod error;
+pub mod profile;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -48,6 +54,7 @@ pub mod wire;
 pub use admission::{AdmissionController, Priority};
 pub use client::{ClientEvent, RemoteOutcome, TcpClient};
 pub use error::ServiceError;
+pub use profile::{QueryProfile, SlowQueryEntry, SlowQueryLog, SlowReason, TrajectoryPoint};
 pub use server::Server;
 pub use service::{QueryService, ServiceConfig};
 pub use session::{Outcome, Polled, QuerySpec, Refinement, SessionHandle, Update};

@@ -211,6 +211,7 @@ fn forward_session(req_id: u64, handle: SessionHandle, writer: Arc<Mutex<TcpStre
                 progress_frame(req_id, ProgressKind::DeadlineExpired, Some(r))
             }
             Some(Update::Cancelled) => progress_frame(req_id, ProgressKind::Cancelled, None),
+            Some(Update::Profile(p)) => Frame::Profile { req_id, profile: *p },
             // Channel closed without a terminal update (service
             // shutdown): report it as a cancellation.
             None => progress_frame(req_id, ProgressKind::Cancelled, None),
@@ -243,11 +244,12 @@ fn serve_connection<D: BlockDevice + Send + Sync + 'static>(
             Err(e) => break Err(e),
         };
         match frame {
-            Frame::Submit { req_id, priority, deadline_ms, ranges } => {
+            Frame::Submit { req_id, priority, deadline_ms, ranges, trace } => {
                 let mut spec = QuerySpec {
                     ranges: ranges.iter().map(|&(lo, hi)| (lo as usize, hi as usize)).collect(),
                     priority,
                     deadline: None,
+                    trace,
                 };
                 if deadline_ms > 0 {
                     spec.deadline = Some(Duration::from_millis(deadline_ms));
@@ -285,8 +287,11 @@ fn serve_connection<D: BlockDevice + Send + Sync + 'static>(
                 }
             }
             Frame::MetricsRequest => {
-                let text = global().snapshot().to_json_lines();
-                if let Err(io) = send(&writer, &Frame::MetricsReply { text }) {
+                // Registry snapshot plus one session line per live query
+                // — structured JSON; clients render tables themselves.
+                let mut json = global().snapshot().to_json_lines();
+                json.push_str(&service.sessions_json_lines());
+                if let Err(io) = send(&writer, &Frame::MetricsReply { json }) {
                     break Err(io);
                 }
             }

@@ -41,10 +41,11 @@ use aims_propolyne::engine::PreparedQuery;
 use aims_propolyne::{BlockedCoefficients, Propolyne, RangeSumQuery, WaveletCube};
 use aims_storage::device::{BlockDevice, MemDevice, RetryPolicy};
 use aims_storage::SharedBlockCache;
-use aims_telemetry::{global, Counter, Gauge};
+use aims_telemetry::{global, AttrValue, Counter, Gauge, TraceContext};
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, Priority};
 use crate::error::ServiceError;
+use crate::profile::{QueryProfile, SlowQueryEntry, SlowQueryLog, SlowReason, TrajectoryPoint};
 use crate::session::{QuerySpec, Refinement, SessionHandle, Update};
 
 /// Tuning knobs for a [`QueryService`].
@@ -69,6 +70,14 @@ pub struct ServiceConfig {
     /// I/O (and gives tests a deterministic mid-flight window). Zero by
     /// default.
     pub round_pause: Duration,
+    /// Latency threshold for the slow-query log; `None` disables the
+    /// latency trigger.
+    pub slow_latency: Option<Duration>,
+    /// Degraded-block count at which a completed query is logged as
+    /// slow; `None` disables the degradation trigger.
+    pub slow_degraded_blocks: Option<u64>,
+    /// Maximum retained slow-query log entries.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +91,9 @@ impl Default for ServiceConfig {
             threads: None,
             idle_wait: Duration::from_millis(20),
             round_pause: Duration::ZERO,
+            slow_latency: None,
+            slow_degraded_blocks: Some(1),
+            slow_log_capacity: 128,
         }
     }
 }
@@ -99,6 +111,8 @@ struct ServiceTelemetry {
     active: Arc<Gauge>,
     queue_interactive: Arc<Gauge>,
     queue_batch: Arc<Gauge>,
+    traced: Arc<Counter>,
+    slow: Arc<Counter>,
 }
 
 fn service_telemetry() -> &'static ServiceTelemetry {
@@ -117,13 +131,24 @@ fn service_telemetry() -> &'static ServiceTelemetry {
             active: r.gauge("service.active"),
             queue_interactive: r.gauge("service.queue.interactive"),
             queue_batch: r.gauge("service.queue.batch"),
+            traced: r.counter("service.traced"),
+            slow: r.counter("service.slow_queries"),
         }
     })
+}
+
+fn priority_label(p: Priority) -> &'static str {
+    match p {
+        Priority::Interactive => "interactive",
+        Priority::Batch => "batch",
+    }
 }
 
 /// A queued query, built at submit time so the scheduler never touches
 /// the engine.
 struct Ticket {
+    /// Service-assigned session id (the [`SessionHandle::id`]).
+    id: u64,
     prepared: Arc<PreparedQuery>,
     /// Distinct blocks the plan touches, ascending.
     plan: Arc<Vec<usize>>,
@@ -132,9 +157,17 @@ struct Ticket {
     tx: Sender<Update>,
     cancel: Arc<AtomicBool>,
     deadline: Option<Instant>,
+    /// Disabled for untraced queries — cloning and event calls are then
+    /// free (a `None` word).
+    trace: TraceContext,
+    submitted_at: Instant,
 }
 
 /// A ticket plus its in-flight refinement state.
+///
+/// The profile counters are plain integers updated in place — the
+/// untraced hot path allocates nothing for them, and integer bumps
+/// cannot perturb the f64 accumulation (bit-identity is preserved).
 struct ActiveQuery {
     ticket: Ticket,
     /// Next entry index to consume (entries are ascending by offset).
@@ -146,10 +179,28 @@ struct ActiveQuery {
     lost_w2: f64,
     lost_e2: f64,
     lost_blocks: Vec<usize>,
+    /// Time spent queued before admission.
+    queue_wait_ns: u64,
+    /// Rounds this query participated in.
+    rounds: u32,
+    /// Device reads this query paid for.
+    blocks_read: u64,
+    /// Blocks served without charging this query a device read.
+    blocks_shared: u64,
+    /// Shared-cache hits among consumed blocks.
+    cache_hits: u64,
+    /// Shared-cache misses among consumed blocks.
+    cache_misses: u64,
+    /// Transient failures retried on reads this query paid for.
+    retries: u64,
+    /// Per-round `(round, used, bound)`; pushed only when traced, so
+    /// untraced queries keep the empty (non-allocating) `Vec`.
+    trajectory: Vec<TrajectoryPoint>,
 }
 
 impl ActiveQuery {
     fn new(ticket: Ticket) -> Self {
+        let queue_wait_ns = ticket.submitted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         ActiveQuery {
             ticket,
             cursor: 0,
@@ -158,6 +209,31 @@ impl ActiveQuery {
             lost_w2: 0.0,
             lost_e2: 0.0,
             lost_blocks: Vec::new(),
+            queue_wait_ns,
+            rounds: 0,
+            blocks_read: 0,
+            blocks_shared: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            retries: 0,
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Materializes the profile (called at terminal delivery only).
+    fn profile(&self) -> QueryProfile {
+        QueryProfile {
+            trace_id: self.ticket.trace.id().map_or(0, |t| t.0),
+            queue_wait_ns: self.queue_wait_ns,
+            latency_ns: self.ticket.submitted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            rounds: self.rounds,
+            blocks_read: self.blocks_read,
+            blocks_shared: self.blocks_shared,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            retries: self.retries,
+            degraded_blocks: self.lost_blocks.len() as u64,
+            trajectory: self.trajectory.clone(),
         }
     }
 
@@ -216,6 +292,22 @@ struct ComputeResult {
     lost_blocks: Vec<usize>,
 }
 
+/// Live state of one session, as shown by METRICS_REPLY session rows
+/// (the `aims-cli top` table).
+#[derive(Clone, Copy, Debug)]
+struct SessionRow {
+    priority: Priority,
+    traced: bool,
+    /// False while still queued, true once admitted.
+    active: bool,
+    rounds: u32,
+    coefficients_used: u64,
+    total_coefficients: u64,
+    error_bound: f64,
+    queue_wait_ns: u64,
+    submitted_at: Instant,
+}
+
 struct Inner<D: BlockDevice + Send + Sync + 'static> {
     engine: Propolyne,
     blocked: BlockedCoefficients<D>,
@@ -226,6 +318,8 @@ struct Inner<D: BlockDevice + Send + Sync + 'static> {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     data_energy: f64,
+    slow_log: SlowQueryLog,
+    sessions: Mutex<BTreeMap<u64, SessionRow>>,
 }
 
 /// An embeddable concurrent query service over one wavelet store.
@@ -261,6 +355,7 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
         let engine = Propolyne::new(cube);
         let data_energy = blocked.data_energy();
         let threads = config.threads.unwrap_or_else(configured_threads);
+        let slow_log = SlowQueryLog::new(config.slow_log_capacity);
         let inner = Arc::new(Inner {
             engine,
             blocked,
@@ -271,6 +366,8 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             data_energy,
+            slow_log,
+            sessions: Mutex::new(BTreeMap::new()),
         });
         let worker = Arc::clone(&inner);
         let scheduler = std::thread::Builder::new()
@@ -306,6 +403,41 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
         self.inner.admission.depth()
     }
 
+    /// Profiles of queries that tripped a slow-query threshold (oldest
+    /// first, bounded by `slow_log_capacity`).
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.inner.slow_log.entries()
+    }
+
+    /// One `{"kind":"session",...}` JSON line per live (queued or
+    /// active) session — appended to the METRICS_REPLY payload so `top`
+    /// can render a per-session table.
+    pub fn sessions_json_lines(&self) -> String {
+        let sessions = self.inner.sessions.lock().unwrap();
+        let mut out = String::new();
+        for (id, row) in sessions.iter() {
+            let bound = if row.error_bound.is_finite() {
+                format!("{}", row.error_bound)
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!(
+                "{{\"kind\":\"session\",\"id\":{id},\"state\":\"{}\",\"priority\":\"{}\",\
+                 \"traced\":{},\"rounds\":{},\"used\":{},\"total\":{},\"bound\":{bound},\
+                 \"queue_wait_ns\":{},\"age_ms\":{}}}\n",
+                if row.active { "active" } else { "queued" },
+                priority_label(row.priority),
+                row.traced,
+                row.rounds,
+                row.coefficients_used,
+                row.total_coefficients,
+                row.queue_wait_ns,
+                row.submitted_at.elapsed().as_millis(),
+            ));
+        }
+        out
+    }
+
     /// Validates and enqueues a query. Typed failures: queue full,
     /// shutting down, malformed ranges. Never blocks, never panics on
     /// overload.
@@ -326,22 +458,58 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
             suffix_w2[k] = suffix_w2[k + 1] + w * w;
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let trace = if spec.trace {
+            t.traced.inc();
+            TraceContext::start_global()
+        } else {
+            TraceContext::disabled()
+        };
+        trace.event(
+            "service.submit",
+            &[
+                ("priority", AttrValue::Str(priority_label(spec.priority))),
+                ("plan_blocks", AttrValue::U64(plan.len() as u64)),
+                ("coefficients", AttrValue::U64(prepared.entries.len() as u64)),
+            ],
+        );
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
+        let submitted_at = Instant::now();
+        let total_coefficients = prepared.entries.len() as u64;
         let ticket = Ticket {
+            id,
             prepared: Arc::new(prepared),
             plan: Arc::new(plan),
             suffix_w2: Arc::new(suffix_w2),
             tx,
             cancel: Arc::clone(&cancel),
-            deadline: spec.deadline.map(|d| Instant::now() + d),
+            deadline: spec.deadline.map(|d| submitted_at + d),
+            trace,
+            submitted_at,
         };
+        // Registered before admission so the scheduler's admit-time
+        // update always finds the row.
+        self.inner.sessions.lock().unwrap().insert(
+            id,
+            SessionRow {
+                priority: spec.priority,
+                traced: spec.trace,
+                active: false,
+                rounds: 0,
+                coefficients_used: 0,
+                total_coefficients,
+                error_bound: f64::INFINITY,
+                queue_wait_ns: 0,
+                submitted_at,
+            },
+        );
         match self.inner.admission.submit(ticket, spec.priority) {
             Ok(()) => {
                 t.submitted.inc();
                 Ok(SessionHandle { id, rx, cancel })
             }
             Err(e) => {
+                self.inner.sessions.lock().unwrap().remove(&id);
                 t.rejected.inc();
                 Err(e)
             }
@@ -372,7 +540,14 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
     /// sessions observe `Disconnected`). Idempotent.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        drop(self.inner.admission.close());
+        let dropped = self.inner.admission.close();
+        {
+            let mut sessions = self.inner.sessions.lock().unwrap();
+            for ticket in &dropped {
+                sessions.remove(&ticket.id);
+            }
+        }
+        drop(dropped);
         if let Some(handle) = self.scheduler.lock().unwrap().take() {
             handle.join().expect("service scheduler panicked");
         }
@@ -385,15 +560,87 @@ impl<D: BlockDevice + Send + Sync + 'static> Drop for QueryService<D> {
     }
 }
 
+/// Classifies a finished query against the slow-query thresholds.
+fn slow_reason(config: &ServiceConfig, q: &ActiveQuery) -> Option<SlowReason> {
+    if config.slow_latency.is_some_and(|lim| q.ticket.submitted_at.elapsed() >= lim) {
+        return Some(SlowReason::Latency);
+    }
+    let degraded = q.lost_blocks.len() as u64;
+    if config.slow_degraded_blocks.is_some_and(|lim| lim > 0 && degraded >= lim) {
+        return Some(SlowReason::Degraded);
+    }
+    None
+}
+
+/// Terminal delivery: profile (traced), slow-query log, terminal update,
+/// session-registry removal. `done` distinguishes Done from
+/// DeadlineExpired. The profile is materialized only when the query was
+/// traced or tripped a slow threshold — untraced healthy queries
+/// allocate nothing here.
+fn finish_query<D: BlockDevice + Send + Sync + 'static>(
+    inner: &Inner<D>,
+    t: &ServiceTelemetry,
+    q: &ActiveQuery,
+    refinement: Refinement,
+    done: bool,
+) {
+    let traced = q.ticket.trace.is_enabled();
+    let slow = slow_reason(&inner.config, q);
+    if traced || slow.is_some() {
+        let profile = q.profile();
+        if let Some(reason) = slow {
+            t.slow.inc();
+            inner.slow_log.push(SlowQueryEntry {
+                session_id: q.ticket.id,
+                reason,
+                profile: profile.clone(),
+            });
+        }
+        if traced {
+            q.ticket.trace.event(
+                if done { "service.done" } else { "service.expired" },
+                &[
+                    ("latency_ns", AttrValue::U64(profile.latency_ns)),
+                    ("blocks_read", AttrValue::U64(profile.blocks_read)),
+                    ("blocks_shared", AttrValue::U64(profile.blocks_shared)),
+                    ("degraded", AttrValue::U64(profile.degraded_blocks)),
+                ],
+            );
+            q.emit(Update::Profile(Box::new(profile)));
+        }
+    }
+    if done {
+        q.emit(Update::Done(refinement));
+        t.completed.inc();
+    } else {
+        q.emit(Update::DeadlineExpired(refinement));
+        t.expired.inc();
+    }
+    inner.sessions.lock().unwrap().remove(&q.ticket.id);
+}
+
 fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) {
     let t = service_telemetry();
     let mut active: Vec<ActiveQuery> = Vec::new();
     let mut round: u32 = 0;
+    // Reused across rounds so per-block consumer lists never allocate on
+    // the steady-state path.
+    let mut consumers: Vec<usize> = Vec::new();
     loop {
         // Admit: top the active set up from the queue, interactive first.
         let room = inner.config.max_batch.saturating_sub(active.len());
         let wait = if active.is_empty() { inner.config.idle_wait } else { Duration::ZERO };
-        active.extend(inner.admission.drain(room, wait).into_iter().map(ActiveQuery::new));
+        for ticket in inner.admission.drain(room, wait) {
+            let q = ActiveQuery::new(ticket);
+            if let Some(row) = inner.sessions.lock().unwrap().get_mut(&q.ticket.id) {
+                row.active = true;
+                row.queue_wait_ns = q.queue_wait_ns;
+            }
+            q.ticket
+                .trace
+                .event("service.admit", &[("queue_wait_ns", AttrValue::U64(q.queue_wait_ns))]);
+            active.push(q);
+        }
         let (qi, qb) = inner.admission.depth();
         t.queue_interactive.set(qi as f64);
         t.queue_batch.set(qb as f64);
@@ -411,13 +658,14 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
         let now = Instant::now();
         active.retain(|q| {
             if q.cancelled() {
+                q.ticket.trace.event("service.cancelled", &[]);
                 q.emit(Update::Cancelled);
                 t.cancelled.inc();
+                inner.sessions.lock().unwrap().remove(&q.ticket.id);
                 return false;
             }
             if q.ticket.deadline.is_some_and(|d| now >= d) {
-                q.emit(Update::DeadlineExpired(q.refinement(round, inner.data_energy)));
-                t.expired.inc();
+                finish_query(&inner, t, q, q.refinement(round, inner.data_energy), false);
                 return false;
             }
             true
@@ -428,6 +676,11 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
 
         // Phase 1 — shared scan: ascending union of still-needed blocks,
         // capped at the round budget, each pulled once through the cache.
+        // Because every plan is ascending and the budget takes the
+        // smallest blocks of the union, a query's in-budget blocks form a
+        // contiguous prefix of its remaining plan — so charging consumers
+        // here (before compute) attributes exactly the blocks each query
+        // consumes this round.
         let mut wanted: BTreeSet<usize> = BTreeSet::new();
         for q in &active {
             wanted.extend(q.ticket.plan[q.plan_cursor..].iter().copied());
@@ -436,20 +689,82 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
         for b in wanted.into_iter().take(inner.config.round_blocks) {
             // A block wanted only by since-cancelled queries is not
             // fetched: cancellation halts I/O, not just delivery.
-            let consumers = active.iter().filter(|q| !q.cancelled() && q.needs(b)).count();
-            if consumers == 0 {
+            consumers.clear();
+            consumers.extend(
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| !q.cancelled() && q.needs(b))
+                    .map(|(i, _)| i),
+            );
+            if consumers.is_empty() {
                 continue;
             }
             t.block_requests.inc();
-            t.block_fanout.add(consumers as u64 - 1);
-            let payload = inner
-                .cache
-                .get_or_read_with_retry(inner.blocked.device(), b, &inner.config.retry)
-                .ok();
-            if payload.is_none() {
-                global().counter("storage.degraded").inc();
+            t.block_fanout.add(consumers.len() as u64 - 1);
+            // Each *physical* device read is recorded once, on the
+            // first traced consumer's timeline, carrying its fan-out;
+            // exact per-consumer attribution (including cache hits)
+            // lives in the branch-free profile counters, and only
+            // degraded outcomes — which cost every consumer accuracy —
+            // get a per-session event. Cache hits are counter-only:
+            // recording a nanosecond-scale hit would cost more than
+            // the hit itself, and the per-round event already anchors
+            // each query's progress on the timeline. One clock reading
+            // covers the whole fan-out.
+            let reporter =
+                consumers.iter().copied().find(|&ci| active[ci].ticket.trace.is_enabled());
+            let fetch_ts = reporter.map_or(0, |ri| active[ri].ticket.trace.now_ns());
+            match inner.cache.get_or_read_outcome(inner.blocked.device(), b, &inner.config.retry) {
+                Ok((payload, outcome)) => {
+                    if let (Some(ri), false) = (reporter, outcome.cache_hit) {
+                        active[ri].ticket.trace.event_at(
+                            fetch_ts,
+                            "storage.fetch",
+                            &[
+                                ("block", AttrValue::U64(b as u64)),
+                                ("outcome", AttrValue::Str("read")),
+                                ("retries", AttrValue::U64(outcome.retries as u64)),
+                                ("fanout", AttrValue::U64(consumers.len() as u64)),
+                            ],
+                        );
+                    }
+                    for (slot, &ci) in consumers.iter().enumerate() {
+                        let q = &mut active[ci];
+                        if outcome.cache_hit {
+                            q.cache_hits += 1;
+                            q.blocks_shared += 1;
+                        } else {
+                            q.cache_misses += 1;
+                            // The first consumer pays the device read (and
+                            // its retries); the rest share the payload.
+                            if slot == 0 {
+                                q.blocks_read += 1;
+                                q.retries += outcome.retries as u64;
+                            } else {
+                                q.blocks_shared += 1;
+                            }
+                        }
+                    }
+                    fetched.insert(b, Some(payload));
+                }
+                Err(_) => {
+                    global().counter("storage.degraded").inc();
+                    for &ci in consumers.iter() {
+                        let q = &mut active[ci];
+                        q.cache_misses += 1;
+                        q.ticket.trace.event_at(
+                            fetch_ts,
+                            "storage.fetch",
+                            &[
+                                ("block", AttrValue::U64(b as u64)),
+                                ("outcome", AttrValue::Str("degraded")),
+                            ],
+                        );
+                    }
+                    fetched.insert(b, None);
+                }
             }
-            fetched.insert(b, payload);
         }
 
         // Phase 2 — fan out: one task per query, input-order results,
@@ -509,12 +824,32 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
             q.lost_w2 = r.lost_w2;
             q.lost_e2 = r.lost_e2;
             q.lost_blocks = r.lost_blocks;
+            q.rounds += 1;
             let refinement = q.refinement(round, inner.data_energy);
+            if q.ticket.trace.is_enabled() {
+                q.trajectory.push(TrajectoryPoint {
+                    round,
+                    coefficients_used: refinement.coefficients_used as u64,
+                    error_bound: refinement.error_bound,
+                });
+                q.ticket.trace.event(
+                    "service.round",
+                    &[
+                        ("round", AttrValue::U64(round as u64)),
+                        ("used", AttrValue::U64(refinement.coefficients_used as u64)),
+                        ("bound", AttrValue::F64(refinement.error_bound)),
+                    ],
+                );
+            }
             if q.complete() {
-                q.emit(Update::Done(refinement));
-                t.completed.inc();
+                finish_query(&inner, t, q, refinement, true);
             } else {
                 q.emit(Update::Progress(refinement));
+                if let Some(row) = inner.sessions.lock().unwrap().get_mut(&q.ticket.id) {
+                    row.rounds = q.rounds;
+                    row.coefficients_used = refinement.coefficients_used as u64;
+                    row.error_bound = refinement.error_bound;
+                }
             }
         }
         active.retain(|q| !q.complete());
@@ -712,6 +1047,136 @@ mod tests {
             }
             other => panic!("expected Done, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_profile_matches_device_ground_truth() {
+        let cube = demo_cube(32, 99);
+        let fault_plan = FaultPlan {
+            seed: 4242,
+            read_error_rate: 0.25,
+            bit_flip_rate: 0.0,
+            torn_write_rate: 0.0,
+            dead_fraction: 0.12,
+            latency: Duration::ZERO,
+            latency_rate: 0.0,
+        };
+        let svc = QueryService::on_device(
+            cube,
+            16,
+            ServiceConfig {
+                retry: RetryPolicy::with_retries(8),
+                round_blocks: 4,
+                ..ServiceConfig::default()
+            },
+            |bs, nb| FaultyDevice::with_plan(bs, nb, fault_plan),
+        );
+        let ranges = vec![(2, 29), (0, 31)];
+        let prepared = svc.engine().prepare(&RangeSumQuery::count(ranges.clone()));
+        let plan_blocks = svc.inner.blocked.plan_blocks(&prepared);
+        // Predict per-block costs on the fresh device, before any read
+        // consumes the fault schedule.
+        let mut want_read = 0u64;
+        let mut want_retries = 0u64;
+        let mut want_degraded = 0u64;
+        for &b in plan_blocks.iter() {
+            if svc.device().is_dead(b) {
+                want_degraded += 1;
+            } else {
+                want_read += 1;
+                want_retries += svc.device().planned_read_failures(b) as u64;
+            }
+        }
+        assert!(want_degraded > 0, "fault plan should kill at least one plan block");
+        assert!(want_retries > 0, "fault plan should force at least one retry");
+        let reads_before = svc.device().stats().reads;
+        let (_, outcome, profile) =
+            svc.submit(QuerySpec::interactive(ranges).traced()).unwrap().collect_profiled();
+        assert!(matches!(outcome, Outcome::Done(_)), "got {outcome:?}");
+        let p = profile.expect("traced query must yield a profile");
+        let n = plan_blocks.len() as u64;
+        assert_ne!(p.trace_id, 0);
+        assert_eq!(p.blocks_read, want_read);
+        assert_eq!(p.blocks_read, svc.device().stats().reads - reads_before);
+        assert_eq!(p.retries, want_retries);
+        assert_eq!(p.degraded_blocks, want_degraded);
+        assert_eq!(p.blocks_read + p.blocks_shared + p.degraded_blocks, n);
+        assert_eq!(p.cache_hits + p.cache_misses, n);
+        assert_eq!(p.cache_hits, 0, "a solo cold query never hits the shared cache");
+        assert_eq!(p.rounds as usize, p.trajectory.len());
+        assert!(p.latency_ns > 0);
+        let last = p.trajectory.last().unwrap();
+        assert_eq!(last.coefficients_used as usize, prepared.nnz());
+        // The flight recorder holds the query's full event stream.
+        let events =
+            aims_telemetry::global_recorder().events_for(aims_telemetry::TraceId(p.trace_id));
+        assert!(events.iter().any(|e| e.name == "service.admit"));
+        assert!(events.iter().any(|e| e.name == "service.done"));
+        let fetches = events.iter().filter(|e| e.name == "storage.fetch").count() as u64;
+        assert_eq!(fetches, n);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_results_across_pool_sizes() {
+        let ranges = vec![(1, 30), (3, 28)];
+        let mut baseline: Option<u64> = None;
+        for threads in [1usize, 2, 8] {
+            for traced in [false, true] {
+                let svc = QueryService::new(
+                    demo_cube(32, 55),
+                    16,
+                    ServiceConfig { threads: Some(threads), ..ServiceConfig::default() },
+                );
+                let mut spec = QuerySpec::interactive(ranges.clone());
+                if traced {
+                    spec = spec.traced();
+                }
+                let (_, outcome) = svc.submit(spec).unwrap().collect();
+                let bits = match outcome {
+                    Outcome::Done(r) => r.estimate.to_bits(),
+                    other => panic!("expected Done, got {other:?}"),
+                };
+                match baseline {
+                    None => baseline = Some(bits),
+                    Some(b) => assert_eq!(bits, b, "threads={threads} traced={traced}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_untraced_queries_land_in_the_slow_log() {
+        let cube = demo_cube(32, 77);
+        let svc = QueryService::on_device(
+            cube,
+            16,
+            ServiceConfig { retry: RetryPolicy::none(), ..ServiceConfig::default() },
+            |bs, nb| {
+                FaultyDevice::with_plan(bs, nb, FaultPlan::uniform(19, FaultKind::DeadBlock, 0.2))
+            },
+        );
+        let ranges = vec![(0, 31), (0, 31)];
+        let prepared = svc.engine().prepare(&RangeSumQuery::count(ranges.clone()));
+        let dead = svc
+            .inner
+            .blocked
+            .plan_blocks(&prepared)
+            .iter()
+            .filter(|&&b| svc.device().is_dead(b))
+            .count();
+        assert!(dead > 0, "fault plan should kill at least one plan block");
+        let outcome = svc.submit(QuerySpec::interactive(ranges)).unwrap().wait();
+        assert!(matches!(outcome, Outcome::Done(_)), "got {outcome:?}");
+        let entries = svc.slow_queries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.reason, SlowReason::Degraded);
+        assert_eq!(e.profile.trace_id, 0, "untraced profiles carry no trace id");
+        assert_eq!(e.profile.degraded_blocks, dead as u64);
+        assert!(e.profile.trajectory.is_empty(), "untraced queries record no trajectory");
+        assert!(e.to_json_line().contains("\"reason\":\"degraded\""));
+        // The live-session registry is empty once the query retires.
+        assert_eq!(svc.sessions_json_lines(), "");
     }
 
     #[test]

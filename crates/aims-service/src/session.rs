@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::admission::Priority;
+use crate::profile::QueryProfile;
 
 /// A range-sum (COUNT-weighted) query plus its scheduling class and
 /// optional deadline.
@@ -18,22 +19,33 @@ pub struct QuerySpec {
     pub priority: Priority,
     /// Wall-clock budget from submission; `None` runs to completion.
     pub deadline: Option<Duration>,
+    /// Request end-to-end tracing: events land in the flight recorder
+    /// and the session's terminal update is preceded by an
+    /// [`Update::Profile`]. Off by default — untraced queries pay
+    /// nothing.
+    pub trace: bool,
 }
 
 impl QuerySpec {
     /// An interactive query with no deadline.
     pub fn interactive(ranges: Vec<(usize, usize)>) -> Self {
-        QuerySpec { ranges, priority: Priority::Interactive, deadline: None }
+        QuerySpec { ranges, priority: Priority::Interactive, deadline: None, trace: false }
     }
 
     /// A batch query with no deadline.
     pub fn batch(ranges: Vec<(usize, usize)>) -> Self {
-        QuerySpec { ranges, priority: Priority::Batch, deadline: None }
+        QuerySpec { ranges, priority: Priority::Batch, deadline: None, trace: false }
     }
 
     /// Sets a wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables request-scoped tracing for this query.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -76,6 +88,10 @@ pub enum Update {
     DeadlineExpired(Refinement),
     /// The session was cancelled before completion.
     Cancelled,
+    /// Cost attribution for a traced query; arrives immediately before
+    /// the terminal update (boxed: the common untraced stream never
+    /// carries this weight).
+    Profile(Box<QueryProfile>),
 }
 
 /// How a session ended.
@@ -149,19 +165,31 @@ impl SessionHandle {
     }
 
     /// Drains updates until the session ends, returning every refinement
-    /// seen plus the terminal outcome.
+    /// seen plus the terminal outcome (any profile is discarded; use
+    /// [`SessionHandle::collect_profiled`] to keep it).
     pub fn collect(self) -> (Vec<Refinement>, Outcome) {
+        let (trace, outcome, _) = self.collect_profiled();
+        (trace, outcome)
+    }
+
+    /// Like [`SessionHandle::collect`], but also returns the
+    /// [`QueryProfile`] when the query was traced.
+    pub fn collect_profiled(self) -> (Vec<Refinement>, Outcome, Option<QueryProfile>) {
         let mut trace = Vec::new();
+        let mut profile = None;
         loop {
             match self.rx.recv() {
                 Ok(Update::Progress(r)) => trace.push(r),
+                Ok(Update::Profile(p)) => profile = Some(*p),
                 Ok(Update::Done(r)) => {
                     trace.push(r);
-                    return (trace, Outcome::Done(r));
+                    return (trace, Outcome::Done(r), profile);
                 }
-                Ok(Update::DeadlineExpired(r)) => return (trace, Outcome::DeadlineExpired(r)),
-                Ok(Update::Cancelled) => return (trace, Outcome::Cancelled),
-                Err(_) => return (trace, Outcome::Disconnected),
+                Ok(Update::DeadlineExpired(r)) => {
+                    return (trace, Outcome::DeadlineExpired(r), profile);
+                }
+                Ok(Update::Cancelled) => return (trace, Outcome::Cancelled, profile),
+                Err(_) => return (trace, Outcome::Disconnected, profile),
             }
         }
     }

@@ -6,22 +6,39 @@
 //!
 //! | opcode | direction | frame |
 //! |--------|-----------|-------|
-//! | `0x01` | c → s | SUBMIT  `req_id:u64, priority:u8, deadline_ms:u64, ndims:u16, (lo:u64, hi:u64)×ndims` |
+//! | `0x01` | c → s | SUBMIT  `req_id:u64, priority:u8, deadline_ms:u64, ndims:u16, (lo:u64, hi:u64)×ndims[, flags:u8]` |
 //! | `0x02` | c → s | CANCEL  `req_id:u64` |
 //! | `0x03` | c → s | METRICS_REQ |
 //! | `0x04` | c → s | SHUTDOWN |
 //! | `0x81` | s → c | PROGRESS `req_id:u64, kind:u8, round:u32, used:u64, total:u64, estimate:f64, bound:f64` |
 //! | `0x82` | s → c | REJECT  `req_id:u64, code:u8, detail:u32, message:utf8` |
-//! | `0x83` | s → c | METRICS_REPLY `utf8` |
+//! | `0x83` | s → c | METRICS_REPLY `utf8 JSON lines` |
 //! | `0x84` | s → c | GOODBYE |
+//! | `0x85` | s → c | PROFILE `req_id:u64, trace_id:u64, queue_wait_ns:u64, latency_ns:u64, rounds:u32, blocks_read:u64, blocks_shared:u64, cache_hits:u64, cache_misses:u64, retries:u64, degraded:u64, npoints:u16, (round:u32, used:u64, bound:f64)×npoints` |
 //!
 //! PROGRESS `kind`: 0 = progress, 1 = done, 2 = deadline expired,
 //! 3 = cancelled. REJECT `code` is [`ServiceError::code`].
+//!
+//! Version 2 adds the optional trailing SUBMIT `flags` byte (bit 0 =
+//! request tracing; other bits must be zero) and the PROFILE frame a
+//! traced query receives just before its terminal PROGRESS. Both sides
+//! stay compatible with v1 peers: an untraced SUBMIT encodes
+//! byte-identically to v1 (no flags byte), and a v1 SUBMIT without the
+//! byte decodes with tracing off.
 
 use std::io::{Read, Write};
 
 use crate::admission::Priority;
 use crate::error::ServiceError;
+use crate::profile::{QueryProfile, TrajectoryPoint};
+
+/// Protocol generation implemented by this module. Version 2 added the
+/// SUBMIT trace flag and the PROFILE frame, both backward-compatible
+/// with version 1 peers.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// SUBMIT flags bit: request end-to-end tracing for this query.
+const SUBMIT_FLAG_TRACE: u8 = 0x01;
 
 /// Upper bound on a frame body; larger prefixes are protocol errors
 /// (guards against garbage length words allocating gigabytes).
@@ -81,6 +98,9 @@ pub enum Frame {
         deadline_ms: u64,
         /// Inclusive per-dimension bounds.
         ranges: Vec<(u64, u64)>,
+        /// Request end-to-end tracing (v2 flags bit 0). `false` encodes
+        /// byte-identically to a v1 SUBMIT.
+        trace: bool,
     },
     /// Client cancels an in-flight query.
     Cancel {
@@ -119,13 +139,23 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
-    /// Server answers METRICS_REQ with rendered snapshot text.
+    /// Server answers METRICS_REQ with structured JSON lines (registry
+    /// snapshot plus one `{"kind":"session",..}` line per live
+    /// session). Clients render tables locally.
     MetricsReply {
-        /// JSON-lines snapshot of the global registry.
-        text: String,
+        /// JSON-lines snapshot.
+        json: String,
     },
     /// Server acknowledges SHUTDOWN just before it stops.
     Goodbye,
+    /// Server delivers a traced query's cost attribution, immediately
+    /// before the terminal PROGRESS for the same `req_id`.
+    Profile {
+        /// Echo of the SUBMIT id.
+        req_id: u64,
+        /// The query's full profile (trajectory included).
+        profile: QueryProfile,
+    },
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -180,6 +210,10 @@ impl<'a> Body<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn rest_utf8(&mut self) -> Result<String, ServiceError> {
         let rest = &self.data[self.pos..];
         self.pos = self.data.len();
@@ -202,7 +236,7 @@ impl Frame {
     pub fn encode_body(&self) -> Vec<u8> {
         let mut b = Vec::new();
         match self {
-            Frame::Submit { req_id, priority, deadline_ms, ranges } => {
+            Frame::Submit { req_id, priority, deadline_ms, ranges, trace } => {
                 b.push(0x01);
                 put_u64(&mut b, *req_id);
                 b.push(priority.to_wire());
@@ -211,6 +245,11 @@ impl Frame {
                 for &(lo, hi) in ranges {
                     put_u64(&mut b, lo);
                     put_u64(&mut b, hi);
+                }
+                // Trailing flags byte only when a flag is set, so an
+                // untraced SUBMIT stays byte-identical to protocol v1.
+                if *trace {
+                    b.push(SUBMIT_FLAG_TRACE);
                 }
             }
             Frame::Cancel { req_id } => {
@@ -236,11 +275,31 @@ impl Frame {
                 put_u32(&mut b, *detail);
                 b.extend_from_slice(message.as_bytes());
             }
-            Frame::MetricsReply { text } => {
+            Frame::MetricsReply { json } => {
                 b.push(0x83);
-                b.extend_from_slice(text.as_bytes());
+                b.extend_from_slice(json.as_bytes());
             }
             Frame::Goodbye => b.push(0x84),
+            Frame::Profile { req_id, profile } => {
+                b.push(0x85);
+                put_u64(&mut b, *req_id);
+                put_u64(&mut b, profile.trace_id);
+                put_u64(&mut b, profile.queue_wait_ns);
+                put_u64(&mut b, profile.latency_ns);
+                put_u32(&mut b, profile.rounds);
+                put_u64(&mut b, profile.blocks_read);
+                put_u64(&mut b, profile.blocks_shared);
+                put_u64(&mut b, profile.cache_hits);
+                put_u64(&mut b, profile.cache_misses);
+                put_u64(&mut b, profile.retries);
+                put_u64(&mut b, profile.degraded_blocks);
+                put_u16(&mut b, profile.trajectory.len() as u16);
+                for p in &profile.trajectory {
+                    put_u32(&mut b, p.round);
+                    put_u64(&mut b, p.coefficients_used);
+                    put_f64(&mut b, p.error_bound);
+                }
+            }
         }
         b
     }
@@ -260,7 +319,19 @@ impl Frame {
                 for _ in 0..ndims {
                     ranges.push((b.u64()?, b.u64()?));
                 }
-                Frame::Submit { req_id, priority, deadline_ms, ranges }
+                // v2 optional trailing flags byte; absent on v1 SUBMITs.
+                let trace = if b.remaining() > 0 {
+                    let flags = b.u8()?;
+                    if flags & !SUBMIT_FLAG_TRACE != 0 {
+                        return Err(ServiceError::Protocol(format!(
+                            "unknown SUBMIT flags 0x{flags:02x}"
+                        )));
+                    }
+                    flags & SUBMIT_FLAG_TRACE != 0
+                } else {
+                    false
+                };
+                Frame::Submit { req_id, priority, deadline_ms, ranges, trace }
             }
             0x02 => Frame::Cancel { req_id: b.u64()? },
             0x03 => Frame::MetricsRequest,
@@ -286,8 +357,34 @@ impl Frame {
                 let message = b.rest_utf8()?;
                 Frame::Reject { req_id, code, detail, message }
             }
-            0x83 => Frame::MetricsReply { text: b.rest_utf8()? },
+            0x83 => Frame::MetricsReply { json: b.rest_utf8()? },
             0x84 => Frame::Goodbye,
+            0x85 => {
+                let req_id = b.u64()?;
+                let mut profile = QueryProfile {
+                    trace_id: b.u64()?,
+                    queue_wait_ns: b.u64()?,
+                    latency_ns: b.u64()?,
+                    rounds: b.u32()?,
+                    blocks_read: b.u64()?,
+                    blocks_shared: b.u64()?,
+                    cache_hits: b.u64()?,
+                    cache_misses: b.u64()?,
+                    retries: b.u64()?,
+                    degraded_blocks: b.u64()?,
+                    trajectory: Vec::new(),
+                };
+                let npoints = b.u16()? as usize;
+                profile.trajectory.reserve(npoints);
+                for _ in 0..npoints {
+                    profile.trajectory.push(TrajectoryPoint {
+                        round: b.u32()?,
+                        coefficients_used: b.u64()?,
+                        error_bound: b.f64()?,
+                    });
+                }
+                Frame::Profile { req_id, profile }
+            }
             other => {
                 return Err(ServiceError::Protocol(format!("unknown opcode 0x{other:02x}")));
             }
@@ -333,12 +430,15 @@ mod tests {
 
     #[test]
     fn every_frame_roundtrips() {
-        roundtrip(Frame::Submit {
-            req_id: 7,
-            priority: Priority::Interactive,
-            deadline_ms: 250,
-            ranges: vec![(0, 31), (5, 20)],
-        });
+        for trace in [false, true] {
+            roundtrip(Frame::Submit {
+                req_id: 7,
+                priority: Priority::Interactive,
+                deadline_ms: 250,
+                ranges: vec![(0, 31), (5, 20)],
+                trace,
+            });
+        }
         roundtrip(Frame::Cancel { req_id: 9 });
         roundtrip(Frame::MetricsRequest);
         roundtrip(Frame::Shutdown);
@@ -352,8 +452,63 @@ mod tests {
             bound: 0.0,
         });
         roundtrip(Frame::Reject { req_id: 8, code: 1, detail: 64, message: "queue full".into() });
-        roundtrip(Frame::MetricsReply { text: "{\"counters\":{}}".into() });
+        roundtrip(Frame::MetricsReply { json: "{\"kind\":\"counter\"}".into() });
         roundtrip(Frame::Goodbye);
+        roundtrip(Frame::Profile {
+            req_id: 11,
+            profile: QueryProfile {
+                trace_id: 0xdead_beef,
+                queue_wait_ns: 1_234,
+                latency_ns: 9_876_543,
+                rounds: 4,
+                blocks_read: 17,
+                blocks_shared: 3,
+                cache_hits: 3,
+                cache_misses: 18,
+                retries: 2,
+                degraded_blocks: 1,
+                trajectory: vec![
+                    TrajectoryPoint { round: 1, coefficients_used: 64, error_bound: 12.5 },
+                    TrajectoryPoint { round: 4, coefficients_used: 256, error_bound: 0.0 },
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn untraced_submit_is_byte_identical_to_v1() {
+        // An untraced v2 SUBMIT must not grow the body: v1 servers
+        // (which reject trailing bytes) keep accepting it.
+        let body = Frame::Submit {
+            req_id: 3,
+            priority: Priority::Batch,
+            deadline_ms: 0,
+            ranges: vec![(1, 2)],
+            trace: false,
+        }
+        .encode_body();
+        let v1_len = 1 + 8 + 1 + 8 + 2 + 16;
+        assert_eq!(body.len(), v1_len);
+        // And a v1 SUBMIT (no flags byte) decodes with tracing off.
+        match Frame::decode_body(&body).unwrap() {
+            Frame::Submit { trace, .. } => assert!(!trace),
+            other => panic!("wrong frame {other:?}"),
+        }
+        // The traced variant appends exactly one flags byte.
+        let traced = Frame::Submit {
+            req_id: 3,
+            priority: Priority::Batch,
+            deadline_ms: 0,
+            ranges: vec![(1, 2)],
+            trace: true,
+        }
+        .encode_body();
+        assert_eq!(traced.len(), v1_len + 1);
+        assert_eq!(&traced[..v1_len], &body[..]);
+        // Unknown flag bits are protocol errors, not silent drops.
+        let mut bad = body;
+        bad.push(0x82);
+        assert!(matches!(Frame::decode_body(&bad), Err(ServiceError::Protocol(_))));
     }
 
     #[test]

@@ -282,6 +282,53 @@ fn tcp_loopback_round_trip_is_bit_identical_and_shuts_down_cleanly() {
 }
 
 #[test]
+fn traced_tcp_query_returns_a_profile_and_json_metrics() {
+    with_watchdog(Duration::from_secs(60), || {
+        let cube = demo_cube(63);
+        let svc = Arc::new(QueryService::new(cube, 16, ServiceConfig::default()));
+        let server = Server::spawn(Arc::clone(&svc), "127.0.0.1:0").expect("bind loopback");
+        let mut client = TcpClient::connect(("127.0.0.1", server.port())).expect("connect");
+
+        // Untraced queries carry no profile frame.
+        let plain = client
+            .run_query(1, &QuerySpec::interactive(vec![(0, 31), (0, 31)]))
+            .expect("untraced query");
+        assert_eq!(plain.kind, ProgressKind::Done);
+        assert!(plain.profile.is_none(), "untraced query must not ship a profile");
+
+        // A traced query gets the full cost attribution back.
+        let traced = client
+            .run_query(2, &QuerySpec::interactive(vec![(2, 29), (0, 31)]).traced())
+            .expect("traced query");
+        assert_eq!(traced.kind, ProgressKind::Done);
+        let p = traced.profile.expect("traced query must ship a profile");
+        assert_ne!(p.trace_id, 0);
+        assert!(p.latency_ns > 0);
+        assert_eq!(p.degraded_blocks, 0);
+        assert!(p.blocks_read + p.blocks_shared > 0);
+        assert_eq!(p.rounds as usize, p.trajectory.len());
+        assert_eq!(p.trajectory.last().unwrap().error_bound, 0.0);
+
+        // METRICS_REPLY is structured JSON lines, parseable by the
+        // shared parser, carrying registry metrics.
+        let metrics = client.metrics().expect("metrics");
+        let mut kinds = Vec::new();
+        for line in metrics.lines().filter(|l| !l.trim().is_empty()) {
+            let v = aims_telemetry::json::parse(line).expect("every metrics line parses");
+            kinds.push(v.str("kind").expect("every line is tagged").to_string());
+        }
+        assert!(kinds.iter().any(|k| k == "counter"));
+        let snap = aims_telemetry::Snapshot::from_json_lines(&metrics)
+            .expect("snapshot round-trips through JSON");
+        assert!(snap.counters.iter().any(|(name, _)| name == "service.submitted"));
+
+        client.shutdown_server().expect("goodbye");
+        server.join();
+        svc.shutdown();
+    });
+}
+
+#[test]
 fn wire_rejections_are_typed_end_to_end() {
     with_watchdog(Duration::from_secs(60), || {
         let svc = Arc::new(QueryService::new(demo_cube(11), 16, ServiceConfig::default()));

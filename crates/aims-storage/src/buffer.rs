@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use aims_telemetry::{global, Counter, Gauge};
+use aims_telemetry::{global, AttrValue, Counter, Gauge, TraceContext};
 
 use crate::cache::SharedBlockCache;
 use crate::device::{BlockDevice, ReadError, ReadErrorKind, RetryPolicy};
@@ -63,17 +63,6 @@ pub struct PoolStats {
     pub misses: u64,
     /// Cached blocks evicted.
     pub evictions: u64,
-}
-
-impl PoolStats {
-    /// Hit ratio in `[0, 1]`; `1.0` when nothing was requested.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `BufferPool::hit_ratio()` or the `storage.pool.hit_ratio` telemetry gauge"
-    )]
-    pub fn hit_ratio(&self) -> f64 {
-        ratio(self.hits, self.misses)
-    }
 }
 
 /// Refreshes the process-wide hit-ratio gauge from the global counters
@@ -163,6 +152,22 @@ impl BufferPool {
         id: usize,
         policy: &RetryPolicy,
     ) -> Result<&'p [f64], ReadError> {
+        self.get_traced(device, id, policy, &TraceContext::disabled())
+    }
+
+    /// [`BufferPool::get_with_retry`] with per-request attribution: when
+    /// `trace` is enabled, every fetch emits a `storage.fetch` event
+    /// recording the block id, how it was satisfied (`hit` locally,
+    /// `shared` from the process cache, `read` from the device, or
+    /// `failed`) and how many transient failures were retried. A
+    /// disabled context records nothing and costs one branch.
+    pub fn get_traced<'p, D: BlockDevice + ?Sized>(
+        &'p mut self,
+        device: &D,
+        id: usize,
+        policy: &RetryPolicy,
+        trace: &TraceContext,
+    ) -> Result<&'p [f64], ReadError> {
         let telemetry = pool_telemetry();
         self.tick += 1;
         let tick = self.tick;
@@ -171,6 +176,14 @@ impl BufferPool {
             self.hits += 1;
             telemetry.hits.inc();
             publish_hit_ratio(telemetry);
+            trace.event(
+                "storage.fetch",
+                &[
+                    ("block", AttrValue::U64(id as u64)),
+                    ("outcome", AttrValue::Str("hit")),
+                    ("retries", AttrValue::U64(0)),
+                ],
+            );
             return Ok(&self.cache[&id].0);
         }
         self.misses += 1;
@@ -180,6 +193,14 @@ impl BufferPool {
         // Second level: the process-shared cache, filled by sibling pools.
         if let Some(data) = self.shared.as_ref().and_then(|shared| shared.lookup(id)) {
             self.admit(id, data.as_ref().clone(), tick, telemetry);
+            trace.event(
+                "storage.fetch",
+                &[
+                    ("block", AttrValue::U64(id as u64)),
+                    ("outcome", AttrValue::Str("shared")),
+                    ("retries", AttrValue::U64(0)),
+                ],
+            );
             return Ok(&self.cache[&id].0);
         }
 
@@ -193,6 +214,14 @@ impl BufferPool {
                     }
                     // Dead blocks are permanent; exhausted budgets give up.
                     if e.kind == ReadErrorKind::Dead || attempt >= policy.retries {
+                        trace.event(
+                            "storage.fetch",
+                            &[
+                                ("block", AttrValue::U64(id as u64)),
+                                ("outcome", AttrValue::Str("failed")),
+                                ("retries", AttrValue::U64(attempt as u64)),
+                            ],
+                        );
                         return Err(e);
                     }
                     telemetry.retries.inc();
@@ -208,6 +237,14 @@ impl BufferPool {
             shared.insert(id, Arc::new(data.clone()));
         }
         self.admit(id, data, tick, telemetry);
+        trace.event(
+            "storage.fetch",
+            &[
+                ("block", AttrValue::U64(id as u64)),
+                ("outcome", AttrValue::Str("read")),
+                ("retries", AttrValue::U64(attempt as u64)),
+            ],
+        );
         Ok(&self.cache[&id].0)
     }
 
@@ -280,11 +317,38 @@ mod tests {
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(d.stats().reads, 1);
         assert_eq!(pool.hit_ratio(), 0.5);
-        // The deprecated shim keeps returning the same number.
-        #[allow(deprecated)]
-        {
-            assert_eq!(pool.stats().hit_ratio(), 0.5);
-        }
+    }
+
+    #[test]
+    fn traced_fetches_attribute_every_outcome() {
+        use aims_telemetry::{FlightRecorder, TraceContext};
+
+        let d = device();
+        let shared = Arc::new(SharedBlockCache::new(8));
+        let mut warm = BufferPool::with_shared_cache(2, Arc::clone(&shared));
+        warm.get(&d, 1).unwrap(); // seed the shared cache
+
+        let rec = Arc::new(FlightRecorder::with_capacity(64));
+        let ctx = TraceContext::start(&rec);
+        let mut pool = BufferPool::with_shared_cache(2, Arc::clone(&shared));
+        let policy = RetryPolicy::none();
+        pool.get_traced(&d, 0, &policy, &ctx).unwrap(); // device read
+        pool.get_traced(&d, 0, &policy, &ctx).unwrap(); // local hit
+        pool.get_traced(&d, 1, &policy, &ctx).unwrap(); // shared-cache hit
+
+        let events = rec.events_for(ctx.id().unwrap());
+        let outcomes: Vec<&str> = events
+            .iter()
+            .map(|e| match e.attrs().iter().find(|(k, _)| *k == "outcome").unwrap().1 {
+                aims_telemetry::AttrValue::Str(s) => s,
+                _ => panic!("outcome must be a string"),
+            })
+            .collect();
+        assert_eq!(outcomes, ["read", "hit", "shared"]);
+
+        // The untraced entry point records nothing.
+        pool.get_with_retry(&d, 2, &policy).unwrap();
+        assert_eq!(rec.written(), 3);
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl Shard {
     }
 }
 
+/// How one block fetch was satisfied — the attribution record consumers
+/// (e.g. the query service) fold into per-request profiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockFetch {
+    /// The payload came straight from the cache (no device I/O).
+    pub cache_hit: bool,
+    /// Failed device attempts that were retried before success.
+    pub retries: usize,
+}
+
 /// Aggregate statistics of a [`SharedBlockCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -177,8 +187,21 @@ impl SharedBlockCache {
         id: usize,
         policy: &RetryPolicy,
     ) -> Result<Arc<Vec<f64>>, ReadError> {
+        self.get_or_read_outcome(device, id, policy).map(|(data, _)| data)
+    }
+
+    /// Like [`SharedBlockCache::get_or_read_with_retry`], but also
+    /// reports *how* the fetch was satisfied (hit vs device read, and
+    /// how many transient failures were retried) so callers can
+    /// attribute I/O cost to the requesting session.
+    pub fn get_or_read_outcome<D: BlockDevice + ?Sized>(
+        &self,
+        device: &D,
+        id: usize,
+        policy: &RetryPolicy,
+    ) -> Result<(Arc<Vec<f64>>, BlockFetch), ReadError> {
         if let Some(data) = self.lookup(id) {
-            return Ok(data);
+            return Ok((data, BlockFetch { cache_hit: true, retries: 0 }));
         }
         let telemetry = global();
         let mut attempt = 0usize;
@@ -202,7 +225,7 @@ impl SharedBlockCache {
             }
         };
         self.insert(id, Arc::clone(&data));
-        Ok(data)
+        Ok((data, BlockFetch { cache_hit: false, retries: attempt }))
     }
 
     /// Drops every cached block (keeps statistics).
@@ -317,6 +340,26 @@ mod tests {
             cache.get_or_read(&faulty, id).unwrap();
         }
         assert_eq!(faulty.stats().reads, before);
+    }
+
+    #[test]
+    fn fetch_outcomes_attribute_hits_and_retries() {
+        let mut faulty =
+            FaultyDevice::with_plan(2, 4, FaultPlan::uniform(21, FaultKind::ReadError, 0.7));
+        for i in 0..4 {
+            faulty.write_block(i, &[i as f64, i as f64 + 0.5]);
+        }
+        let cache = SharedBlockCache::new(4);
+        for id in 0..4 {
+            let planned = faulty.planned_read_failures(id);
+            let policy = RetryPolicy { retries: planned, ..RetryPolicy::none() };
+            let (_, outcome) = cache.get_or_read_outcome(&faulty, id, &policy).unwrap();
+            assert!(!outcome.cache_hit);
+            assert_eq!(outcome.retries, planned, "block {id}");
+            // Re-fetch: a hit with no device work.
+            let (_, again) = cache.get_or_read_outcome(&faulty, id, &policy).unwrap();
+            assert_eq!(again, BlockFetch { cache_hit: true, retries: 0 });
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod store;
 
 pub use alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 pub use buffer::BufferPool;
-pub use cache::{CacheStats, SharedBlockCache};
+pub use cache::{BlockFetch, CacheStats, SharedBlockCache};
 pub use device::{
     fnv1a_f64, BlockDevice, DeviceStats, MemDevice, ReadError, ReadErrorKind, RetryPolicy,
 };

@@ -18,7 +18,15 @@
 //!   bounded trace of recent spans with parent/child nesting per thread.
 //! - [`snapshot`]: a point-in-time [`snapshot::Snapshot`] of a registry,
 //!   renderable as an aligned text table or as JSON lines for machine
-//!   diffing across runs.
+//!   diffing across runs (and parseable back via
+//!   [`snapshot::Snapshot::from_json_lines`]).
+//! - [`trace`]: request-scoped tracing — a [`trace::TraceContext`]
+//!   passed explicitly down the serving path stamps events with a
+//!   [`trace::TraceId`] into a lock-sharded bounded
+//!   [`trace::FlightRecorder`], exportable as Chrome trace-event JSON.
+//!   Zero-cost when disabled.
+//! - [`json`]: a minimal std-only JSON value parser shared by the tools
+//!   that read the JSON this workspace writes.
 //!
 //! Metric names follow `component.subsystem.metric`
 //! (e.g. `storage.pool.hits`, `dsp.dwt.forward.ns`); duration histograms
@@ -37,15 +45,22 @@
 //! assert!(snap.histogram("doc.example.work.ns").is_some());
 //! ```
 
+pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
+pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{global, MetricsRegistry};
 pub use snapshot::{HistogramSummary, Snapshot};
 pub use span::{recent_spans, SpanGuard, SpanRecord};
+pub use trace::{
+    global_recorder, AttrValue, FlightRecorder, TraceContext, TraceEvent, TraceId, TraceSpan,
+    MAX_EVENT_ATTRS,
+};
 
 /// Opens an RAII span timer on the global registry; elapsed time lands in
 /// histogram `<name>.ns` when the guard drops, and the span is pushed

@@ -1,6 +1,7 @@
 //! Point-in-time views of a registry: aligned text tables for humans,
 //! JSON lines for machine diffing across runs.
 
+use crate::json::{parse, JsonValue};
 use crate::metrics::Histogram;
 
 /// Summary of one histogram at snapshot time.
@@ -208,11 +209,56 @@ impl Snapshot {
         }
         out
     }
+
+    /// Parses the output of [`Snapshot::to_json_lines`] back into a
+    /// snapshot. Lines whose `kind` is not one of
+    /// `counter`/`gauge`/`histogram` are skipped (the METRICS_REPLY
+    /// payload interleaves `session` rows with metric lines), as are
+    /// blank lines; a malformed line is an error.
+    pub fn from_json_lines(input: &str) -> Result<Snapshot, crate::json::JsonError> {
+        let mut snap = Snapshot::default();
+        for line in input.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse(line)?;
+            let name = v.str("name").unwrap_or_default().to_string();
+            match v.str("kind") {
+                Some("counter") => {
+                    snap.counters.push((name, v.num("value").unwrap_or(0.0) as u64));
+                }
+                Some("gauge") => {
+                    let value = match v.get("value") {
+                        Some(JsonValue::Number(x)) => *x,
+                        _ => f64::NAN,
+                    };
+                    snap.gauges.push((name, value));
+                }
+                Some("histogram") => {
+                    snap.histograms.push(HistogramSummary {
+                        name,
+                        count: v.num("count").unwrap_or(0.0) as u64,
+                        mean: v.num("mean").unwrap_or(f64::NAN),
+                        p50: v.num("p50").unwrap_or(f64::NAN),
+                        p95: v.num("p95").unwrap_or(f64::NAN),
+                        p99: v.num("p99").unwrap_or(f64::NAN),
+                        max: v.num("max").unwrap_or(f64::NAN),
+                    });
+                }
+                _ => {}
+            }
+        }
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(snap)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::registry::MetricsRegistry;
+    use crate::snapshot::Snapshot;
 
     #[test]
     fn table_and_json_render_all_metrics() {
@@ -243,6 +289,28 @@ mod tests {
         let delta = r.snapshot().delta_since(&before);
         assert_eq!(delta.counter("a"), 3);
         assert_eq!(delta.counter("b"), 2);
+    }
+
+    #[test]
+    fn json_lines_round_trip_through_from_json_lines() {
+        let r = MetricsRegistry::new();
+        r.counter("service.submitted").add(17);
+        r.gauge("service.queue.depth").set(2.5);
+        for v in [100u64, 200, 300, 400] {
+            r.histogram("service.query.latency.ns").record(v);
+        }
+        let snap = r.snapshot();
+        let mut text = snap.to_json_lines();
+        // Foreign kinds and blank lines are tolerated (METRICS_REPLY
+        // interleaves session rows).
+        text.push_str("{\"kind\":\"session\",\"id\":9,\"rounds\":3}\n\n");
+        let parsed = Snapshot::from_json_lines(&text).unwrap();
+        assert_eq!(parsed.counter("service.submitted"), 17);
+        assert_eq!(parsed.gauge("service.queue.depth"), Some(2.5));
+        let h = parsed.histogram("service.query.latency.ns").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.p50, snap.histogram("service.query.latency.ns").unwrap().p50);
+        assert!(Snapshot::from_json_lines("not json\n").is_err());
     }
 
     #[test]

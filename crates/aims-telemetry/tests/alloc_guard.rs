@@ -1,0 +1,94 @@
+//! Proves the "zero-cost when disabled" tracing contract at the
+//! allocator level: a counting global allocator wraps the system one,
+//! and the disabled-context hot path must perform exactly zero
+//! allocations. This is the same property the E28 bit-identity gate
+//! checks end-to-end; here it is pinned down to the API itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aims_telemetry::{AttrValue, TraceContext};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+// One test function (not two) so nothing else in this binary allocates
+// concurrently and pollutes the global counter.
+#[test]
+fn disabled_trace_context_allocates_nothing() {
+    let ctx = TraceContext::disabled();
+    let count = allocations_during(|| {
+        for i in 0..10_000u64 {
+            // The exact call shape the serving path uses: a stack-array
+            // attribute slice passed to event(), plus clone, span, and
+            // now_ns on the untraced path.
+            ctx.event(
+                "storage.fetch",
+                &[
+                    ("block", AttrValue::U64(i)),
+                    ("outcome", AttrValue::Str("hit")),
+                    ("retries", AttrValue::U64(0)),
+                ],
+            );
+            let cloned = ctx.clone();
+            assert!(cloned.span("service.round").is_none());
+            assert_eq!(cloned.now_ns(), 0);
+        }
+    });
+    assert_eq!(count, 0, "disabled tracing must not allocate");
+
+    // Sanity check that the counter itself works: setting up an enabled
+    // trace allocates (the Arc and the preallocated ring shards) ...
+    let mut state = None;
+    let count = allocations_during(|| {
+        let recorder = std::sync::Arc::new(aims_telemetry::FlightRecorder::with_capacity(256));
+        let ctx = TraceContext::start(&recorder);
+        state = Some((recorder, ctx));
+    });
+    assert!(count > 0, "recorder/context setup allocates (counter sanity check)");
+
+    // ... but steady-state recording does not: events are `Copy` values
+    // memcpy'd into preallocated ring slots, so even the *traced* hot
+    // path is allocation-free once the trace exists.
+    let (recorder, ctx) = state.unwrap();
+    let count = allocations_during(|| {
+        for i in 0..10_000u64 {
+            ctx.event(
+                "storage.fetch",
+                &[
+                    ("block", AttrValue::U64(i)),
+                    ("outcome", AttrValue::Str("hit")),
+                    ("retries", AttrValue::U64(0)),
+                ],
+            );
+        }
+    });
+    assert_eq!(count, 0, "enabled steady-state recording must not allocate");
+    assert_eq!(recorder.written(), 10_000);
+}

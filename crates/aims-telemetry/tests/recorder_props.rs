@@ -1,0 +1,64 @@
+//! Property tests for the flight recorder under concurrent writers.
+//!
+//! The claims: no event is ever lost from the `written` total, retained
+//! memory stays within the configured capacity, and the events a trace
+//! retains are always an in-order *suffix* of what that trace emitted —
+//! concurrent writers can scroll each other's history away, but never
+//! tear or reorder it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use aims_telemetry::{AttrValue, FlightRecorder, TraceContext, TraceId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_writers_lose_nothing_and_stay_ordered(
+        threads in 1usize..=8,
+        per_thread in 1usize..=200,
+        capacity in 8usize..=2048,
+    ) {
+        let rec = Arc::new(FlightRecorder::with_capacity(capacity));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                let ctx = TraceContext::start(&rec);
+                let id = ctx.id().unwrap();
+                for seq in 0..per_thread {
+                    ctx.event("prop.event", &[("seq", AttrValue::U64(seq as u64))]);
+                }
+                id
+            }));
+        }
+        let ids: Vec<TraceId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Every write is counted, and retention is bounded.
+        let total = (threads * per_thread) as u64;
+        prop_assert_eq!(rec.written(), total);
+        prop_assert!(rec.len() <= rec.capacity());
+        prop_assert!(rec.len() as u64 <= total);
+
+        for id in ids {
+            let events = rec.events_for(id);
+            let mut seqs = Vec::with_capacity(events.len());
+            for e in &events {
+                prop_assert_eq!(e.trace_id, id);
+                prop_assert_eq!(e.name, "prop.event");
+                prop_assert_eq!(e.attrs().len(), 1, "torn attribute list");
+                match e.attrs()[0] {
+                    ("seq", AttrValue::U64(s)) => seqs.push(s),
+                    other => prop_assert!(false, "torn attr {other:?}"),
+                }
+            }
+            // Whatever survived eviction is the tail of the emission
+            // sequence, in order and gap-free.
+            let start = per_thread as u64 - seqs.len() as u64;
+            let expect: Vec<u64> = (start..per_thread as u64).collect();
+            prop_assert_eq!(seqs, expect);
+        }
+    }
+}

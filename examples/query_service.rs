@@ -95,6 +95,14 @@ fn main() {
                     );
                     break;
                 }
+                Some(Update::Profile(p)) => {
+                    println!(
+                        "  profile: {} blocks read, {} shared, hit ratio {:.2}",
+                        p.blocks_read,
+                        p.blocks_shared,
+                        p.cache_hit_ratio()
+                    );
+                }
                 Some(Update::Cancelled) | None => {
                     println!("  session ended without an answer");
                     break;

@@ -16,6 +16,11 @@
 //! aims-cli ingest-faults --seed 2003 --dropout 0.1 [--stuck 0.0] [--spike 0.0] \
 //!                    [--dup 0.0] [--reorder 0.0] [--dead 0.0] \
 //!                    [--policy hold|interpolate] [--seconds 4] [--format table|json]
+//! aims-cli trace     [--side 64] [--block 32] [--seed 41] [--queries 4] \
+//!                    [--format table|chrome] [--out FILE]
+//! aims-cli trace     --connect 127.0.0.1:PORT --ranges 0:31,0:31
+//! aims-cli top       --connect 127.0.0.1:PORT [--interval-ms 1000] [--iterations 0] \
+//!                    [--format table|json]
 //! ```
 //!
 //! `generate` simulates a CyberGlove session to CSV; `ingest` runs the
@@ -34,7 +39,13 @@
 //! `ingest.*` telemetry; `serve` runs the concurrent query service over a
 //! demo cube behind the `aims-serve` TCP protocol, and `query --connect`
 //! drives a progressive range sum against a running server, printing the
-//! refinement trace.
+//! refinement trace; `trace` runs a traced drill — locally against a demo
+//! service (printing each query's `QueryProfile` and dumping the flight
+//! recorder, or exporting Chrome trace-event JSON for `about:tracing`),
+//! or remotely via `--connect` (the profile comes back over the wire);
+//! `top` polls a running server's METRICS_REQ and renders the telemetry
+//! snapshot as a live table (the reply is structured JSON; rendering is
+//! client-side).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -49,7 +60,8 @@ use aims::{AimsConfig, AimsSystem};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aims-cli <generate|ingest|query|serve|recognize|metrics|faults|ingest-faults> \
+        "usage: aims-cli \
+<generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top> \
 [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
@@ -65,7 +77,12 @@ fn usage() -> ! {
 [--budget <n>] [--format table|json]\n\
          ingest-faults --seed <n> [--dropout <0..1>] [--stuck <0..1>] [--spike <0..1>]\n\
                    [--dup <0..1>] [--reorder <0..1>] [--dead <0..1>]\n\
-                   [--policy hold|interpolate] [--seconds <f>] [--format table|json]"
+                   [--policy hold|interpolate] [--seconds <f>] [--format table|json]\n\
+         trace     [--side <n>] [--block <n>] [--seed <n>] [--queries <n>]\n\
+                   [--format table|chrome] [--out <file>]\n\
+         trace     --connect <host:port> --ranges <lo:hi,lo:hi>\n\
+         top       --connect <host:port> [--interval-ms <n>] [--iterations <n>] \
+[--format table|json]"
     );
     exit(2);
 }
@@ -174,11 +191,46 @@ fn cmd_ingest(flags: &HashMap<String, String>) {
     println!("  reconstruction : {:.2}% relative RMSE", report.sampling_rmse * 100.0);
 }
 
+/// The seeded square demo cube `serve` and `trace` drill against:
+/// xorshift-filled small integers, wavelet-transformed with Db4.
+fn demo_cube(side: usize, seed: u64) -> aims::propolyne::WaveletCube {
+    use aims::dsp::filters::FilterKind;
+    use aims::propolyne::DataCube;
+
+    let mut cube = DataCube::zeros(&[side, side]);
+    let mut state = seed.max(1);
+    for v in cube.values_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state % 9) as f64;
+    }
+    cube.transform(&FilterKind::Db4.filter())
+}
+
+/// Parses a `--ranges lo:hi,lo:hi` flag value.
+fn parse_ranges(ranges_text: &str) -> Vec<(usize, usize)> {
+    ranges_text
+        .split(',')
+        .map(|pair| {
+            let Some((lo, hi)) = pair.split_once(':') else {
+                eprintln!("--ranges: expected lo:hi, got '{pair}'");
+                usage();
+            };
+            match (lo.parse(), hi.parse()) {
+                (Ok(lo), Ok(hi)) => (lo, hi),
+                _ => {
+                    eprintln!("--ranges: cannot parse '{pair}'");
+                    usage();
+                }
+            }
+        })
+        .collect()
+}
+
 /// Spins up the concurrent query service over the workspace's demo cube
 /// and serves the `aims-serve` wire protocol until a client SHUTDOWN.
 fn cmd_serve(flags: &HashMap<String, String>) {
-    use aims::dsp::filters::FilterKind;
-    use aims::propolyne::DataCube;
     use aims::service::{QueryService, Server, ServiceConfig};
     use std::io::Write as _;
     use std::sync::Arc;
@@ -190,15 +242,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     let queue: usize = flag(flags, "queue", 64);
     let seed: u64 = flag(flags, "seed", 41);
 
-    let mut cube = DataCube::zeros(&[side, side]);
-    let mut state = seed.max(1);
-    for v in cube.values_mut() {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        *v = (state % 9) as f64;
-    }
-    let cube = cube.transform(&FilterKind::Db4.filter());
+    let cube = demo_cube(side, seed);
     let config =
         ServiceConfig { queue_capacity: queue, cache_blocks: cache, ..ServiceConfig::default() };
     let service = Arc::new(QueryService::new(cube, block, config));
@@ -220,22 +264,7 @@ fn cmd_query_remote(flags: &HashMap<String, String>, connect: &str) {
     use aims::service::{ProgressKind, QuerySpec, TcpClient};
 
     let ranges_text = required(flags, "ranges");
-    let ranges: Vec<(usize, usize)> = ranges_text
-        .split(',')
-        .map(|pair| {
-            let Some((lo, hi)) = pair.split_once(':') else {
-                eprintln!("--ranges: expected lo:hi, got '{pair}'");
-                usage();
-            };
-            match (lo.parse(), hi.parse()) {
-                (Ok(lo), Ok(hi)) => (lo, hi),
-                _ => {
-                    eprintln!("--ranges: cannot parse '{pair}'");
-                    usage();
-                }
-            }
-        })
-        .collect();
+    let ranges = parse_ranges(&ranges_text);
     let priority: String = flag(flags, "priority", "interactive".into());
     let deadline_ms: u64 = flag(flags, "deadline-ms", 0);
     let mut spec = match priority.as_str() {
@@ -730,6 +759,240 @@ fn cmd_ingest_faults(flags: &HashMap<String, String>) {
     }
 }
 
+/// Prints one query's cost attribution as an aligned table.
+fn print_profile(profile: &aims::service::QueryProfile) {
+    println!("  trace id          : {:#018x}", profile.trace_id);
+    println!("  queue wait        : {:.3} ms", profile.queue_wait_ns as f64 / 1e6);
+    println!("  latency           : {:.3} ms", profile.latency_ms());
+    println!("  rounds            : {}", profile.rounds);
+    println!(
+        "  blocks            : {} read, {} shared, {} degraded",
+        profile.blocks_read, profile.blocks_shared, profile.degraded_blocks
+    );
+    println!(
+        "  cache             : {} hits / {} misses ({:.0}% hit ratio)",
+        profile.cache_hits,
+        profile.cache_misses,
+        profile.cache_hit_ratio() * 100.0
+    );
+    println!("  retries           : {}", profile.retries);
+    for p in &profile.trajectory {
+        println!(
+            "    round {:>3}: {:>6} coefficients, bound {:.4}",
+            p.round, p.coefficients_used, p.error_bound
+        );
+    }
+}
+
+/// Runs a traced drill and dumps the flight recorder.
+///
+/// Locally (default): a demo service answers a few overlapping traced
+/// range sums; each query's `QueryProfile` is printed, then the flight
+/// recorder's events — as a table, or as Chrome trace-event JSON
+/// (`--format chrome`, loadable in `about:tracing`/Perfetto) to stdout
+/// or `--out FILE`. With `--connect`, one traced query runs against a
+/// live server instead and its wire-returned profile is printed (the
+/// recorder lives server-side).
+fn cmd_trace(flags: &HashMap<String, String>) {
+    use aims::service::{Outcome, ProgressKind, QueryService, QuerySpec, ServiceConfig, TcpClient};
+    use aims::telemetry::global_recorder;
+
+    if let Some(connect) = flags.get("connect") {
+        let ranges = parse_ranges(&required(flags, "ranges"));
+        let mut client = TcpClient::connect(connect.as_str()).unwrap_or_else(|e| {
+            eprintln!("trace: cannot connect to {connect}: {e}");
+            exit(1);
+        });
+        let out =
+            client.run_query(1, &QuerySpec::interactive(ranges).traced()).unwrap_or_else(|e| {
+                eprintln!("trace: {e}");
+                exit(1);
+            });
+        match (out.kind, out.last) {
+            (ProgressKind::Done, Some(r)) => println!("done: estimate {:.4} (exact)", r.estimate),
+            (ProgressKind::DeadlineExpired, Some(r)) => {
+                println!("deadline expired: estimate {:.4} +/- {:.4}", r.estimate, r.error_bound);
+            }
+            (kind, _) => {
+                eprintln!("trace: query ended without an answer: {kind:?}");
+                exit(1);
+            }
+        }
+        match out.profile {
+            Some(p) => print_profile(&p),
+            None => eprintln!("trace: server returned no profile (pre-tracing server?)"),
+        }
+        return;
+    }
+
+    let side: usize = flag(flags, "side", 64);
+    let block: usize = flag(flags, "block", 32);
+    let seed: u64 = flag(flags, "seed", 41);
+    let queries: usize = flag(flags, "queries", 4);
+    let format: String = flag(flags, "format", "table".into());
+    let out_path = flags.get("out").cloned();
+    if format != "table" && format != "chrome" {
+        eprintln!("unknown format '{format}' (table|chrome)");
+        usage();
+    }
+
+    let service = QueryService::new(demo_cube(side, seed), block, ServiceConfig::default());
+    for k in 0..queries {
+        let lo = (k * 7) % (side / 2);
+        let hi = (lo + side / 2).min(side - 1);
+        let spec = QuerySpec::interactive(vec![(lo, hi), (0, side - 1)]).traced();
+        let handle = service.submit(spec).unwrap_or_else(|e| {
+            eprintln!("trace: submit failed: {e}");
+            exit(1);
+        });
+        let (_, outcome, profile) = handle.collect_profiled();
+        match outcome {
+            Outcome::Done(r) => println!("query {k} [{lo}:{hi}] = {:.4}", r.estimate),
+            other => {
+                eprintln!("trace: query {k} did not complete: {other:?}");
+                exit(1);
+            }
+        }
+        match profile {
+            Some(p) => print_profile(&p),
+            None => {
+                eprintln!("trace: traced query {k} yielded no profile");
+                exit(1);
+            }
+        }
+    }
+    service.shutdown();
+
+    let recorder = global_recorder();
+    if format == "chrome" {
+        let json = recorder.export_chrome_trace();
+        match out_path {
+            Some(path) => {
+                std::fs::write(&path, &json).unwrap_or_else(|e| {
+                    eprintln!("trace: cannot write {path}: {e}");
+                    exit(1);
+                });
+                println!(
+                    "wrote {path}: {} events (open in about:tracing or Perfetto)",
+                    recorder.events().len()
+                );
+            }
+            None => println!("{json}"),
+        }
+    } else {
+        use aims::telemetry::AttrValue;
+        let fmt_attr = |v: &AttrValue| match *v {
+            AttrValue::U64(x) => x.to_string(),
+            AttrValue::I64(x) => x.to_string(),
+            AttrValue::F64(x) => format!("{x:.4}"),
+            AttrValue::Str(s) => s.to_string(),
+        };
+        let events = recorder.events();
+        println!("\n-- flight recorder ({} events) --", events.len());
+        for e in &events {
+            let attrs: Vec<String> =
+                e.attrs().iter().map(|(k, v)| format!("{k}={}", fmt_attr(v))).collect();
+            println!(
+                "  [{}] {:>10.3} ms  {:<16} {}",
+                e.trace_id,
+                e.ts_ns as f64 / 1e6,
+                e.name,
+                attrs.join(" ")
+            );
+        }
+    }
+}
+
+/// Renders the `"kind":"session"` rows the server interleaves into its
+/// METRICS_REPLY: one line per live (queued or active) session.
+fn print_session_rows(json_lines: &str) {
+    use aims::telemetry::json;
+
+    let sessions: Vec<json::JsonValue> = json_lines
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| json::parse(l).ok())
+        .filter(|v| v.str("kind") == Some("session"))
+        .collect();
+    if sessions.is_empty() {
+        println!("no live sessions\n");
+        return;
+    }
+    println!(
+        "{:>6} {:<7} {:<12} {:<7} {:>6} {:>10} {:>12} {:>9} {:>8}",
+        "id", "state", "priority", "traced", "rounds", "used/total", "bound", "wait ms", "age ms"
+    );
+    for s in &sessions {
+        let num = |k: &str| s.num(k).unwrap_or(0.0);
+        let bound = match s.get("bound").and_then(json::JsonValue::as_f64) {
+            Some(b) => format!("{b:.4}"),
+            None => "inf".to_string(),
+        };
+        println!(
+            "{:>6} {:<7} {:<12} {:<7} {:>6} {:>10} {:>12} {:>9.3} {:>8}",
+            num("id") as u64,
+            s.str("state").unwrap_or("?"),
+            s.str("priority").unwrap_or("?"),
+            match s.get("traced") {
+                Some(json::JsonValue::Bool(true)) => "yes",
+                Some(json::JsonValue::Bool(false)) => "no",
+                _ => "?",
+            },
+            num("rounds") as u64,
+            format!("{}/{}", num("used") as u64, num("total") as u64),
+            bound,
+            num("queue_wait_ns") / 1e6,
+            num("age_ms") as u64,
+        );
+    }
+    println!();
+}
+
+/// Polls a running server's METRICS_REQ and renders the telemetry
+/// snapshot — a live `top`-style view. The wire carries structured JSON
+/// lines (metric and session rows); the tables are rendered client-side.
+fn cmd_top(flags: &HashMap<String, String>) {
+    use aims::service::TcpClient;
+    use aims::telemetry::Snapshot;
+
+    let connect = required(flags, "connect");
+    let interval_ms: u64 = flag(flags, "interval-ms", 1000);
+    let iterations: usize = flag(flags, "iterations", 0);
+    let format: String = flag(flags, "format", "table".into());
+    if format != "table" && format != "json" {
+        eprintln!("unknown format '{format}' (table|json)");
+        usage();
+    }
+
+    let mut client = TcpClient::connect(connect.as_str()).unwrap_or_else(|e| {
+        eprintln!("top: cannot connect to {connect}: {e}");
+        exit(1);
+    });
+    let mut tick = 0usize;
+    loop {
+        let json = client.metrics().unwrap_or_else(|e| {
+            eprintln!("top: {e}");
+            exit(1);
+        });
+        tick += 1;
+        if format == "json" {
+            print!("{json}");
+        } else {
+            let snap = Snapshot::from_json_lines(&json).unwrap_or_else(|e| {
+                eprintln!("top: server sent unparseable metrics: {e:?}");
+                exit(1);
+            });
+            println!("-- {connect} tick {tick} --");
+            print_session_rows(&json);
+            print!("{}", snap.render_table());
+        }
+        if iterations > 0 && tick >= iterations {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -745,6 +1008,8 @@ fn main() {
         "metrics" => cmd_metrics(&flags),
         "faults" => cmd_faults(&flags),
         "ingest-faults" => cmd_ingest_faults(&flags),
+        "trace" => cmd_trace(&flags),
+        "top" => cmd_top(&flags),
         _ => usage(),
     }
 }
