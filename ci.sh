@@ -89,6 +89,13 @@ for e in events:
 print(f"chrome trace OK: {len(events)} events")
 EOF
 
+    echo "== bench_kernels (E29 serial kernel speed, bit-identity gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e29
+    test -f target/bench_kernels.json || {
+        echo "E29 did not record target/bench_kernels.json" >&2
+        exit 1
+    }
+
     echo "== perf trajectory gate (trend vs BENCH_TRAJECTORY.json) =="
     cargo run --release -q -p aims-bench --bin trend -- check
 

@@ -95,6 +95,30 @@ fn collect_current() -> Result<Vec<(MetricSpec, f64)>, String> {
         }
     }
 
+    // E29 — serial kernel speedups vs the frozen pre-kernel
+    // implementations. Both sides run on the same core in the same
+    // process, so the ratio is steadier than E24's parallel numbers —
+    // but it is still a wall-clock ratio on a shared host: medium band.
+    if let Some(v) = load("target/bench_kernels.json")? {
+        let workloads = v
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .ok_or("bench_kernels.json: missing workloads[]")?;
+        for w in workloads {
+            let name = w.str("name").ok_or("bench_kernels.json: workload without name")?;
+            let speedup = w.num("speedup").ok_or("bench_kernels.json: workload without speedup")?;
+            out.push((
+                MetricSpec {
+                    name: leak(format!("e29.{}.speedup", slug(name))),
+                    direction: Direction::Higher,
+                    rel_tolerance: 0.50,
+                    abs_tolerance: 0.0,
+                },
+                speedup,
+            ));
+        }
+    }
+
     // E25 — worst relative error across the fault sweep. Seeded and
     // deterministic: tight band.
     if let Some(v) = load("target/bench_faults.json")? {

@@ -17,6 +17,7 @@
 use aims_exec::{global_pool, SharedSlice, ThreadPool};
 
 use crate::filters::WaveletFilter;
+use crate::kernel::{self, DwtScratch};
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 pub fn is_power_of_two(n: usize) -> bool {
@@ -65,16 +66,39 @@ pub fn analysis_step(signal: &[f64], filter: &WaveletFilter) -> (Vec<f64>, Vec<f
         approx[k] = a;
         detail[k] = d;
     }
-    for k in fast..half {
-        let mut a = 0.0;
-        let mut d = 0.0;
-        for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
-            let x = signal[(2 * k + m) % n];
-            a += hm * x;
-            d += gm * x;
+    if taps <= n {
+        // Branchless wrapped tail: the window wraps at most once, so an
+        // increment-and-reset (compiled to a conditional move) replaces
+        // the `% n` per tap. Indices are identical, so output bits are.
+        for k in fast..half {
+            let mut idx = 2 * k;
+            let mut a = 0.0;
+            let mut d = 0.0;
+            for (&hm, &gm) in h.iter().zip(g) {
+                let x = signal[idx];
+                a += hm * x;
+                d += gm * x;
+                idx += 1;
+                if idx == n {
+                    idx = 0;
+                }
+            }
+            approx[k] = a;
+            detail[k] = d;
         }
-        approx[k] = a;
-        detail[k] = d;
+    } else {
+        // Degenerate taps > n case: the window can wrap repeatedly.
+        for k in fast..half {
+            let mut a = 0.0;
+            let mut d = 0.0;
+            for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+                let x = signal[(2 * k + m) % n];
+                a += hm * x;
+                d += gm * x;
+            }
+            approx[k] = a;
+            detail[k] = d;
+        }
     }
     (approx, detail)
 }
@@ -104,11 +128,28 @@ pub fn synthesis_step(approx: &[f64], detail: &[f64], filter: &WaveletFilter) ->
             *slot += hm * a + gm * d;
         }
     }
-    for k in fast..half {
-        let a = approx[k];
-        let d = detail[k];
-        for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
-            out[(2 * k + m) % n] += hm * a + gm * d;
+    if taps <= n {
+        // Branchless wrapped tail, mirroring the analysis path: one
+        // conditional reset instead of a `% n` per tap.
+        for k in fast..half {
+            let a = approx[k];
+            let d = detail[k];
+            let mut idx = 2 * k;
+            for (&hm, &gm) in h.iter().zip(g) {
+                out[idx] += hm * a + gm * d;
+                idx += 1;
+                if idx == n {
+                    idx = 0;
+                }
+            }
+        }
+    } else {
+        for k in fast..half {
+            let a = approx[k];
+            let d = detail[k];
+            for (m, (&hm, &gm)) in h.iter().zip(g).enumerate() {
+                out[(2 * k + m) % n] += hm * a + gm * d;
+            }
         }
     }
     out
@@ -133,21 +174,36 @@ impl WaveletDecomposition {
     /// # Panics
     /// If the signal length is not divisible by `2^levels` or is zero.
     pub fn decompose(signal: &[f64], filter: &WaveletFilter, levels: usize) -> Self {
+        Self::decompose_with(signal, filter, levels, &mut DwtScratch::new())
+    }
+
+    /// [`WaveletDecomposition::decompose`] reusing a caller-owned scratch
+    /// arena, so repeated decompositions (one per line, per window, …)
+    /// allocate nothing beyond the output bands.
+    pub fn decompose_with(
+        signal: &[f64],
+        filter: &WaveletFilter,
+        levels: usize,
+        scratch: &mut DwtScratch,
+    ) -> Self {
         assert!(!signal.is_empty(), "cannot decompose an empty signal");
         assert!(
             levels == 0 || signal.len().is_multiple_of(1 << levels),
             "signal length {} not divisible by 2^{levels}",
             signal.len()
         );
-        let mut approx = signal.to_vec();
+        let choice = kernel::resolve(filter);
+        let mut work = signal.to_vec();
         let mut details_fine_first = Vec::with_capacity(levels);
+        let mut len = work.len();
         for _ in 0..levels {
-            let (a, d) = analysis_step(&approx, filter);
-            details_fine_first.push(d);
-            approx = a;
+            kernel::analysis_level_with(&mut work[..len], filter, choice, scratch);
+            details_fine_first.push(work[len / 2..len].to_vec());
+            len /= 2;
         }
+        work.truncate(len);
         details_fine_first.reverse();
-        WaveletDecomposition { approx, details: details_fine_first, filter: filter.clone() }
+        WaveletDecomposition { approx: work, details: details_fine_first, filter: filter.clone() }
     }
 
     /// Number of analysis levels applied.
@@ -162,11 +218,24 @@ impl WaveletDecomposition {
 
     /// Inverse transform back to the original signal.
     pub fn reconstruct(&self) -> Vec<f64> {
-        let mut approx = self.approx.clone();
+        self.reconstruct_with(&mut DwtScratch::new())
+    }
+
+    /// [`WaveletDecomposition::reconstruct`] reusing a caller-owned
+    /// scratch arena.
+    pub fn reconstruct_with(&self, scratch: &mut DwtScratch) -> Vec<f64> {
+        let choice = kernel::resolve(&self.filter);
+        let mut work = Vec::with_capacity(self.signal_len());
+        work.extend_from_slice(&self.approx);
         for d in &self.details {
-            approx = synthesis_step(&approx, d, &self.filter);
+            work.extend_from_slice(d);
         }
-        approx
+        let mut len = self.approx.len();
+        for _ in 0..self.details.len() {
+            kernel::synthesis_level_with(&mut work[..2 * len], &self.filter, choice, scratch);
+            len *= 2;
+        }
+        work
     }
 
     /// Total energy across all coefficients (Parseval: equals the signal
@@ -236,17 +305,19 @@ impl WaveletDecomposition {
 /// # Panics
 /// If `signal.len()` is not a power of two.
 pub fn dwt_full(signal: &[f64], filter: &WaveletFilter) -> Vec<f64> {
+    let mut buf = signal.to_vec();
+    dwt_full_inplace(&mut buf, filter, &mut DwtScratch::new());
+    buf
+}
+
+/// [`dwt_full`] in place: rewrites `buf` into its error-tree coefficients
+/// using a caller-owned scratch arena — no allocations on the hot path.
+///
+/// # Panics
+/// If `buf.len()` is not a power of two.
+pub fn dwt_full_inplace(buf: &mut [f64], filter: &WaveletFilter, scratch: &mut DwtScratch) {
     let _span = aims_telemetry::span!("dsp.dwt.forward");
-    let n = signal.len();
-    assert!(is_power_of_two(n), "dwt_full requires a power-of-two length, got {n}");
-    let levels = n.trailing_zeros() as usize;
-    let dec = WaveletDecomposition::decompose(signal, filter, levels);
-    let mut out = Vec::with_capacity(n);
-    out.extend_from_slice(&dec.approx); // single coefficient
-    for d in &dec.details {
-        out.extend_from_slice(d);
-    }
-    out
+    kernel::dwt_line(buf, filter, scratch);
 }
 
 /// Inverse of [`dwt_full`].
@@ -254,18 +325,18 @@ pub fn dwt_full(signal: &[f64], filter: &WaveletFilter) -> Vec<f64> {
 /// # Panics
 /// If `coeffs.len()` is not a power of two.
 pub fn idwt_full(coeffs: &[f64], filter: &WaveletFilter) -> Vec<f64> {
+    let mut buf = coeffs.to_vec();
+    idwt_full_inplace(&mut buf, filter, &mut DwtScratch::new());
+    buf
+}
+
+/// [`idwt_full`] in place, with a caller-owned scratch arena.
+///
+/// # Panics
+/// If `buf.len()` is not a power of two.
+pub fn idwt_full_inplace(buf: &mut [f64], filter: &WaveletFilter, scratch: &mut DwtScratch) {
     let _span = aims_telemetry::span!("dsp.dwt.inverse");
-    let n = coeffs.len();
-    assert!(is_power_of_two(n), "idwt_full requires a power-of-two length, got {n}");
-    let levels = n.trailing_zeros() as usize;
-    let mut approx = vec![coeffs[0]];
-    let mut offset = 1;
-    for _ in 0..levels {
-        let band = &coeffs[offset..offset + approx.len()];
-        approx = synthesis_step(&approx, band, filter);
-        offset += band.len() / 2 + band.len() - band.len() / 2; // == band.len()
-    }
-    approx
+    kernel::idwt_line(buf, filter, scratch);
 }
 
 /// The decomposition level of flat index `i` in the [`dwt_full`] layout of a
@@ -310,7 +381,7 @@ pub fn dwt_standard_md_with(
     filter: &WaveletFilter,
 ) -> Vec<f64> {
     let _span = aims_telemetry::span!("dsp.dwt.md.forward");
-    transform_md(pool, data, dims, |line| dwt_full(line, filter))
+    transform_md(pool, data, dims, filter, true)
 }
 
 /// [`idwt_standard_md`] on an explicit thread pool.
@@ -321,17 +392,35 @@ pub fn idwt_standard_md_with(
     filter: &WaveletFilter,
 ) -> Vec<f64> {
     let _span = aims_telemetry::span!("dsp.dwt.md.inverse");
-    transform_md(pool, coeffs, dims, |line| idwt_full(line, filter))
+    transform_md(pool, coeffs, dims, filter, false)
 }
 
 /// Axis-by-axis driver: each axis pass transforms `total / len` independent
-/// 1-D lines, which fan out across the pool (a barrier between axes is
-/// implied by the scoped pool API).
+/// 1-D lines in place (a barrier between axes is implied by the scoped
+/// pool API).
+///
+/// Two regimes per axis, both allocation-free on the per-line path:
+///
+/// - **`stride == 1`** (the innermost axis): lines are already contiguous
+///   slices of the buffer, so each task transforms them directly through
+///   [`SharedSlice::slice_mut`] — no gather at all.
+/// - **`stride > 1`**: the classic strided gather touches one cache line
+///   per element. Instead, a *tile* of `T` adjacent lines (autotuned via
+///   [`aims_exec::tuning`], override `AIMS_TILE`) is transposed into a
+///   contiguous scratch block — adjacent lines have bases differing by 1,
+///   so every gather/scatter step moves a contiguous `T`-run — the `T`
+///   now-contiguous lines are transformed, and the tile is scattered back.
+///
+/// Transforms below the tuned element threshold run inline on the caller,
+/// so small cubes never pay fan-out (the old "0.67× speedup" failure).
+/// Tile size, threshold, and pool size never affect which arithmetic runs
+/// on a line, so results are bit-identical across all of them.
 fn transform_md(
     pool: &ThreadPool,
     data: &[f64],
     dims: &[usize],
-    line_op: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    filter: &WaveletFilter,
+    forward: bool,
 ) -> Vec<f64> {
     let total: usize = dims.iter().product();
     assert_eq!(data.len(), total, "data length does not match dims");
@@ -344,36 +433,81 @@ fn transform_md(
     for axis in (0..dims.len().saturating_sub(1)).rev() {
         strides[axis] = strides[axis + 1] * dims[axis + 1];
     }
+    let tune = aims_exec::tuning();
+    let line = |slice: &mut [f64], scratch: &mut DwtScratch| {
+        if forward {
+            kernel::dwt_line(slice, filter, scratch);
+        } else {
+            kernel::idwt_line(slice, filter, scratch);
+        }
+    };
     for axis in 0..dims.len() {
         let len = dims[axis];
+        if len < 2 {
+            continue; // length-1 lines transform to themselves
+        }
         let stride = strides[axis];
         let lines = total / len;
-        // Distinct lines cover disjoint index sets, so concurrent strided
-        // gather/scatter through the shared view is race-free.
+        let serial = pool.is_serial() || tune.serial_below(total);
+        // Distinct lines (and distinct tiles) cover disjoint index sets,
+        // so concurrent access through the shared view is race-free.
         let view = SharedSlice::new(&mut buf);
         let view = &view;
-        let line_op = &line_op;
-        // Keep every task above ~4k gathered elements so tiny transforms
-        // don't pay per-task overhead.
-        let min_lines = (4096 / len).max(1);
-        pool.par_chunks(lines, min_lines, move |range| {
-            let mut line = vec![0.0; len];
-            for l in range {
-                // Base offset of the l-th line along `axis`.
-                let outer = l / stride;
-                let inner = l % stride;
-                let base = outer * stride * len + inner;
-                for (j, slot) in line.iter_mut().enumerate() {
-                    // SAFETY: indices base + j·stride are unique to line l.
-                    *slot = unsafe { view.read(base + j * stride) };
+        let line = &line;
+        if stride == 1 {
+            let run = |range: std::ops::Range<usize>| {
+                let mut scratch = DwtScratch::new();
+                for l in range {
+                    // SAFETY: line l exclusively owns [l·len, (l+1)·len).
+                    let s = unsafe { view.slice_mut(l * len, len) };
+                    line(s, &mut scratch);
                 }
-                let transformed = line_op(&line);
-                for (j, v) in transformed.into_iter().enumerate() {
-                    // SAFETY: same disjoint index set as the gather above.
-                    unsafe { view.write(base + j * stride, v) };
-                }
+            };
+            if serial {
+                run(0..lines);
+            } else {
+                pool.par_chunks(lines, (4096 / len).max(1), run);
             }
-        });
+        } else {
+            let tile = tune.tile.min(stride);
+            let blocks_per_outer = stride.div_ceil(tile);
+            let n_outer = total / (stride * len);
+            let n_tiles = n_outer * blocks_per_outer;
+            let run = |range: std::ops::Range<usize>| {
+                let mut scratch = DwtScratch::new();
+                let mut tile_buf = vec![0.0f64; tile * len];
+                for t_id in range {
+                    let outer = t_id / blocks_per_outer;
+                    let i0 = (t_id % blocks_per_outer) * tile;
+                    let t = tile.min(stride - i0);
+                    let base = outer * stride * len + i0;
+                    for j in 0..len {
+                        let src = base + j * stride;
+                        for ti in 0..t {
+                            // SAFETY: tile (outer, i0..i0+t) owns indices
+                            // base + j·stride + ti exclusively.
+                            tile_buf[ti * len + j] = unsafe { view.read(src + ti) };
+                        }
+                    }
+                    for ti in 0..t {
+                        line(&mut tile_buf[ti * len..(ti + 1) * len], &mut scratch);
+                    }
+                    for j in 0..len {
+                        let dst = base + j * stride;
+                        for ti in 0..t {
+                            // SAFETY: same disjoint index set as the gather.
+                            unsafe { view.write(dst + ti, tile_buf[ti * len + j]) };
+                        }
+                    }
+                }
+            };
+            if serial {
+                run(0..n_tiles);
+            } else {
+                let min_tiles = (4096 / (tile * len)).max(1);
+                pool.par_chunks(n_tiles, min_tiles, run);
+            }
+        }
     }
     buf
 }

@@ -29,6 +29,7 @@ pub mod dwt;
 pub mod fft;
 pub mod filters;
 pub mod huffman;
+pub mod kernel;
 pub mod poly;
 pub mod quantize;
 pub mod spectrum;
@@ -36,4 +37,5 @@ pub mod spectrum;
 pub use dwt::{dwt_full, idwt_full, WaveletDecomposition};
 pub use fft::Complex;
 pub use filters::WaveletFilter;
+pub use kernel::DwtScratch;
 pub use poly::Polynomial;

@@ -53,6 +53,8 @@
 
 pub mod par;
 pub mod pool;
+pub mod tune;
 
 pub use par::SharedSlice;
 pub use pool::{configured_threads, global_pool, Scope, ThreadPool};
+pub use tune::{tuning, Tuning};

@@ -174,6 +174,19 @@ impl<'a, T> SharedSlice<'a, T> {
         debug_assert!(start + src.len() <= self.len);
         unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len()) }
     }
+
+    /// Reborrows elements `start..start + len` as a mutable slice, letting
+    /// a task run ordinary (vectorizable) slice code on a contiguous
+    /// region it owns — e.g. an in-place transform of one line.
+    ///
+    /// # Safety
+    /// The range must be in bounds, and no other task may access any index
+    /// in it while the returned slice is live.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
 }
 
 #[cfg(test)]

@@ -341,15 +341,29 @@ fn matmul_row_block(a: &Matrix, b: &Matrix, r0: usize, out_rows: &mut [f64]) {
     for kb in (0..inner).step_by(K_PANEL) {
         let kend = (kb + K_PANEL).min(inner);
         for (ri, orow) in out_rows.chunks_mut(cols).enumerate() {
-            let arow = a.row(r0 + ri);
-            for (k, &aik) in arow.iter().enumerate().take(kend).skip(kb) {
-                if aik == 0.0 {
-                    continue;
+            let arow = &a.row(r0 + ri)[kb..kend];
+            // Two b-rows stream per pass; each k is still added to an
+            // output element separately and in ascending order, so bits
+            // match the naive i→k→j loop. Slice windows (no index
+            // arithmetic, no skip-zero branch) let the j-loop vectorize.
+            let mut k = kb;
+            let mut pairs = arow.chunks_exact(2);
+            for pair in pairs.by_ref() {
+                let (a0, a1) = (pair[0], pair[1]);
+                let b0 = b.row(k);
+                let b1 = b.row(k + 1);
+                for ((o, &v0), &v1) in orow.iter_mut().zip(b0).zip(b1) {
+                    let t = *o + a0 * v0;
+                    *o = t + a1 * v1;
                 }
-                let brow = b.row(k);
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bv;
+                k += 2;
+            }
+            for &a0 in pairs.remainder() {
+                let b0 = b.row(k);
+                for (o, &v0) in orow.iter_mut().zip(b0) {
+                    *o += a0 * v0;
                 }
+                k += 1;
             }
         }
     }

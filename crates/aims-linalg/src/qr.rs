@@ -65,7 +65,22 @@ impl QrDecomposition {
             // block order.
             let partials = pool.par_map_blocks(m - k, ROW_BLOCK, |rows| {
                 let mut d = vec![0.0; n - k];
-                for i in rows {
+                // Two rows per traversal. Each d[j] still receives its
+                // contributions in ascending row order as two separate adds,
+                // so the fold stays bit-identical to the row-at-a-time loop
+                // while halving passes over d.
+                let mut i = rows.start;
+                while i + 1 < rows.end {
+                    let (v0, v1) = (v[i], v[i + 1]);
+                    let r0 = &r.row(k + i)[k..];
+                    let r1 = &r.row(k + i + 1)[k..];
+                    for ((dj, &a), &b) in d.iter_mut().zip(r0).zip(r1) {
+                        let t = *dj + v0 * a;
+                        *dj = t + v1 * b;
+                    }
+                    i += 2;
+                }
+                if i < rows.end {
                     let vi = v[i];
                     for (dj, &rij) in d.iter_mut().zip(&r.row(k + i)[k..]) {
                         *dj += vi * rij;

@@ -261,7 +261,21 @@ fn two_rows_mut(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64]
 fn rotate_pair(pool: &aims_exec::ThreadPool, wp: &mut [f64], wq: &mut [f64], c: f64, s: f64) {
     debug_assert_eq!(wp.len(), wq.len());
     let rotate = |cp: &mut [f64], cq: &mut [f64]| {
-        for (xp, xq) in cp.iter_mut().zip(cq.iter_mut()) {
+        // 4-way unrolled over independent elements: the rotation of each
+        // (xp, xq) pair touches no other element, so the unroll cannot
+        // change a single bit — it only hands the compiler four disjoint
+        // multiply-add chains to vectorize.
+        let mut ps = cp.chunks_exact_mut(4);
+        let mut qs = cq.chunks_exact_mut(4);
+        for (p4, q4) in ps.by_ref().zip(qs.by_ref()) {
+            for (xp, xq) in p4.iter_mut().zip(q4.iter_mut()) {
+                let a = *xp;
+                let b = *xq;
+                *xp = c * a - s * b;
+                *xq = s * a + c * b;
+            }
+        }
+        for (xp, xq) in ps.into_remainder().iter_mut().zip(qs.into_remainder()) {
             let a = *xp;
             let b = *xq;
             *xp = c * a - s * b;

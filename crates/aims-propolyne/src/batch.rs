@@ -69,7 +69,7 @@ pub fn evaluate_batch_with(
     let shards: Vec<HashSet<usize>> = pool.par_map_blocks(prepared.len(), shard, |range| {
         let mut set = HashSet::new();
         for p in &prepared[range] {
-            set.extend(p.entries.iter().map(|&(i, _)| i));
+            set.extend(p.indices.iter().copied());
         }
         set
     });
@@ -79,32 +79,39 @@ pub fn evaluate_batch_with(
         needed.extend(s);
     }
 
-    // "Fetch" the union once, as a plan sorted by coefficient index so the
-    // evaluation loop below is an allocation-free sorted merge.
+    // "Fetch" the union once, as a structure-of-arrays plan sorted by
+    // coefficient index: the merge's offset scan walks a dense `usize`
+    // slice (no interleaved f64 halving its cache density), and the
+    // multiply-add loop reads values from its own contiguous slice.
     let coeffs = engine.cube().coeffs();
-    let mut plan: Vec<(usize, f64)> = needed.iter().map(|&i| (i, coeffs[i])).collect();
-    plan.sort_unstable_by_key(|&(i, _)| i);
+    let mut plan_idx: Vec<usize> = needed.into_iter().collect();
+    plan_idx.sort_unstable();
+    let plan_vals: Vec<f64> = plan_idx.iter().map(|&i| coeffs[i]).collect();
 
-    let answers: Vec<f64> = pool.par_map(&prepared, |p| dot_sorted(&p.entries, &plan));
+    let answers: Vec<f64> =
+        pool.par_map(&prepared, |p| dot_sorted(&p.indices, &p.weights, &plan_idx, &plan_vals));
     telemetry().counter("propolyne.batch.queries").add(queries.len() as u64);
-    telemetry().counter("propolyne.batch.shared_fetches").add(plan.len() as u64);
-    BatchResult { answers, shared_fetches: plan.len(), independent_fetches: independent }
+    telemetry().counter("propolyne.batch.shared_fetches").add(plan_idx.len() as u64);
+    BatchResult { answers, shared_fetches: plan_idx.len(), independent_fetches: independent }
 }
 
 /// Inner product of a prepared query against the shared fetch plan. Both
 /// sides are strictly increasing in coefficient index and the plan is a
 /// superset of the query's support, so a single two-pointer merge replaces
 /// the per-entry hash lookup — no allocation, no hashing, accumulation in
-/// the same entry order as independent evaluation.
-fn dot_sorted(entries: &[(usize, f64)], plan: &[(usize, f64)]) -> f64 {
+/// the same entry order as independent evaluation (bit-identical to
+/// `Propolyne::evaluate_prepared`). All four operands are separate
+/// contiguous slices; when the query's support is a dense run of the plan
+/// the merge degenerates to a straight `w[k]·v[cursor+k]` stream.
+fn dot_sorted(indices: &[usize], weights: &[f64], plan_idx: &[usize], plan_vals: &[f64]) -> f64 {
     let mut acc = 0.0;
     let mut cursor = 0usize;
-    for &(i, w) in entries {
-        while plan[cursor].0 < i {
+    for (&i, &w) in indices.iter().zip(weights) {
+        while plan_idx[cursor] < i {
             cursor += 1;
         }
-        debug_assert_eq!(plan[cursor].0, i, "fetch plan missing coefficient {i}");
-        acc += w * plan[cursor].1;
+        debug_assert_eq!(plan_idx[cursor], i, "fetch plan missing coefficient {i}");
+        acc += w * plan_vals[cursor];
         cursor += 1;
     }
     acc
@@ -174,12 +181,12 @@ pub fn progressive_batch(
     // Per-coefficient contribution to each query.
     let mut contribution: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
     for (qi, p) in prepared.iter().enumerate() {
-        for &(i, w) in &p.entries {
+        for (i, w) in p.entries() {
             contribution.entry(i).or_default().push((qi, w * coeffs[i]));
         }
     }
     let exact: Vec<f64> =
-        prepared.iter().map(|p| p.entries.iter().map(|&(i, w)| w * coeffs[i]).sum()).collect();
+        prepared.iter().map(|p| p.entries().map(|(i, w)| w * coeffs[i]).sum()).collect();
 
     // Fetch order for the chosen norm.
     let mut order: Vec<usize> = contribution.keys().copied().collect();

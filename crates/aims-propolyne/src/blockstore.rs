@@ -146,9 +146,9 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
     /// cost of a cold-cache evaluation.
     pub fn plan_blocks(&self, prepared: &PreparedQuery) -> Vec<usize> {
         let mut blocks: Vec<usize> = prepared
-            .entries
+            .indices
             .iter()
-            .map(|&(i, _)| {
+            .map(|&i| {
                 assert!(i < self.n, "query offset {i} out of range");
                 i / self.block_size
             })
@@ -174,7 +174,7 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
         let mut missing = 0usize;
         let mut lost_w2 = 0.0;
         let mut estimate = 0.0;
-        for &(i, w) in &prepared.entries {
+        for (i, w) in prepared.entries() {
             assert!(i < self.n, "query offset {i} out of range");
             let b = i / self.block_size;
             if lost_blocks.contains(&b) {
@@ -211,7 +211,7 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
         pool: &mut BufferPool,
         policy: &RetryPolicy,
     ) -> Vec<DegradedStep> {
-        let mut order: Vec<(usize, f64)> = prepared.entries.clone();
+        let mut order: Vec<(usize, f64)> = prepared.entries().collect();
         order.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
 
         let mut suffix_energy = vec![0.0; order.len() + 1];

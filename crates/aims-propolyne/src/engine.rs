@@ -20,11 +20,16 @@ use crate::lazy::lazy_transform;
 use crate::query::RangeSumQuery;
 
 /// A prepared (transformed) query: sparse coefficients in the cube's flat
-/// layout.
+/// layout, stored structure-of-arrays so the inner-product kernels stream
+/// offsets and weights from separate contiguous slices (the offset scan of
+/// a sorted merge touches no weight cache lines, and the multiply-add loop
+/// reads `weights` sequentially).
 #[derive(Clone, Debug)]
 pub struct PreparedQuery {
-    /// Sorted `(flat offset, weight)` pairs.
-    pub entries: Vec<(usize, f64)>,
+    /// Flat coefficient offsets, strictly ascending.
+    pub indices: Vec<usize>,
+    /// Weights; `weights[k]` pairs with `indices[k]`.
+    pub weights: Vec<f64>,
     /// Total lazy-transform work across dimensions and terms.
     pub transform_work: usize,
 }
@@ -32,12 +37,17 @@ pub struct PreparedQuery {
 impl PreparedQuery {
     /// Number of nonzero query coefficients.
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.indices.len()
     }
 
     /// Energy of the query vector (squared L2 norm).
     pub fn energy(&self) -> f64 {
-        self.entries.iter().map(|(_, w)| w * w).sum()
+        self.weights.iter().map(|w| w * w).sum()
+    }
+
+    /// The `(offset, weight)` pairs in ascending offset order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices.iter().copied().zip(self.weights.iter().copied())
     }
 }
 
@@ -187,7 +197,8 @@ impl Propolyne {
         telemetry.counter("propolyne.query.prepared").inc();
         telemetry.counter("propolyne.query.transform_work").add(work as u64);
         telemetry.histogram("propolyne.query.nnz").record(entries.len() as u64);
-        PreparedQuery { entries, transform_work: work }
+        let (indices, weights) = entries.into_iter().unzip();
+        PreparedQuery { indices, weights, transform_work: work }
     }
 
     /// Exact evaluation.
@@ -199,11 +210,11 @@ impl Propolyne {
 
     /// Exact evaluation of a prepared query.
     pub fn evaluate_prepared(&self, prepared: &PreparedQuery) -> f64 {
-        global()
-            .counter("propolyne.query.coefficients_retrieved")
-            .add(prepared.entries.len() as u64);
+        global().counter("propolyne.query.coefficients_retrieved").add(prepared.nnz() as u64);
         let coeffs = self.cube.coeffs();
-        prepared.entries.iter().map(|&(i, w)| w * coeffs[i]).sum()
+        // Single accumulator, ascending offset order — the bit-for-bit
+        // reference every other evaluation path reproduces.
+        prepared.indices.iter().zip(&prepared.weights).map(|(&i, &w)| w * coeffs[i]).sum()
     }
 
     /// Progressive evaluation: consume query coefficients in decreasing
@@ -215,7 +226,7 @@ impl Propolyne {
         let coeffs = self.cube.coeffs();
         let exact = self.evaluate_prepared(&prepared);
 
-        let mut order: Vec<(usize, f64)> = prepared.entries.clone();
+        let mut order: Vec<(usize, f64)> = prepared.entries().collect();
         order.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
 
         // Suffix query energy for the Cauchy–Schwarz bound.
@@ -377,7 +388,7 @@ mod tests {
         let engine = Propolyne::new(cube.transform(&FilterKind::Haar.filter()));
         let q = RangeSumQuery::count(vec![(0, 31), (0, 31)]);
         let prepared = engine.prepare(&q);
-        assert_eq!(prepared.nnz(), 1, "entries: {:?}", prepared.entries);
+        assert_eq!(prepared.nnz(), 1, "offsets: {:?}", prepared.indices);
         assert!((engine.evaluate(&q) - cube.total()).abs() < 1e-8);
     }
 

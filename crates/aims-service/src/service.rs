@@ -246,7 +246,7 @@ impl ActiveQuery {
     }
 
     fn complete(&self) -> bool {
-        self.cursor == self.ticket.prepared.entries.len()
+        self.cursor == self.ticket.prepared.nnz()
     }
 
     fn refinement(&self, round: u32, data_energy: f64) -> Refinement {
@@ -255,7 +255,7 @@ impl ActiveQuery {
         Refinement {
             round,
             coefficients_used: self.cursor,
-            total_coefficients: self.ticket.prepared.entries.len(),
+            total_coefficients: self.ticket.prepared.nnz(),
             estimate: self.sum,
             error_bound: clean + lost,
         }
@@ -453,8 +453,8 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
         }
         let prepared = self.inner.engine.prepare(&RangeSumQuery::count(spec.ranges));
         let plan = self.inner.blocked.plan_blocks(&prepared);
-        let mut suffix_w2 = vec![0.0; prepared.entries.len() + 1];
-        for (k, &(_, w)) in prepared.entries.iter().enumerate().rev() {
+        let mut suffix_w2 = vec![0.0; prepared.nnz() + 1];
+        for (k, &w) in prepared.weights.iter().enumerate().rev() {
             suffix_w2[k] = suffix_w2[k + 1] + w * w;
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst) + 1;
@@ -469,13 +469,13 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
             &[
                 ("priority", AttrValue::Str(priority_label(spec.priority))),
                 ("plan_blocks", AttrValue::U64(plan.len() as u64)),
-                ("coefficients", AttrValue::U64(prepared.entries.len() as u64)),
+                ("coefficients", AttrValue::U64(prepared.nnz() as u64)),
             ],
         );
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let submitted_at = Instant::now();
-        let total_coefficients = prepared.entries.len() as u64;
+        let total_coefficients = prepared.nnz() as u64;
         let ticket = Ticket {
             id,
             prepared: Arc::new(prepared),
@@ -609,6 +609,9 @@ fn finish_query<D: BlockDevice + Send + Sync + 'static>(
             q.emit(Update::Profile(Box::new(profile)));
         }
     }
+    // Remove the registry row before the terminal update: a client woken
+    // by Done must never observe its own session as still live.
+    inner.sessions.lock().unwrap().remove(&q.ticket.id);
     if done {
         q.emit(Update::Done(refinement));
         t.completed.inc();
@@ -616,7 +619,6 @@ fn finish_query<D: BlockDevice + Send + Sync + 'static>(
         q.emit(Update::DeadlineExpired(refinement));
         t.expired.inc();
     }
-    inner.sessions.lock().unwrap().remove(&q.ticket.id);
 }
 
 fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) {
@@ -659,9 +661,9 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
         active.retain(|q| {
             if q.cancelled() {
                 q.ticket.trace.event("service.cancelled", &[]);
+                inner.sessions.lock().unwrap().remove(&q.ticket.id);
                 q.emit(Update::Cancelled);
                 t.cancelled.inc();
-                inner.sessions.lock().unwrap().remove(&q.ticket.id);
                 return false;
             }
             if q.ticket.deadline.is_some_and(|d| now >= d) {
@@ -785,7 +787,7 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
         let block_size = inner.blocked.block_size();
         let blocked = &inner.blocked;
         let results: Vec<ComputeResult> = inner.pool.par_map(&inputs, |inp| {
-            let entries = &inp.prepared.entries;
+            let prepared = &inp.prepared;
             let mut r = ComputeResult {
                 cursor: inp.cursor,
                 plan_cursor: inp.plan_cursor,
@@ -794,8 +796,8 @@ fn scheduler_loop<D: BlockDevice + Send + Sync + 'static>(inner: Arc<Inner<D>>) 
                 lost_e2: inp.lost_e2,
                 lost_blocks: inp.lost_blocks.clone(),
             };
-            while r.cursor < entries.len() {
-                let (i, w) = entries[r.cursor];
+            while r.cursor < prepared.nnz() {
+                let (i, w) = (prepared.indices[r.cursor], prepared.weights[r.cursor]);
                 match fetched.get(&(i / block_size)) {
                     Some(Some(data)) => r.sum += w * data[i % block_size],
                     Some(None) => {

@@ -21,6 +21,7 @@
 //! aims-cli trace     --connect 127.0.0.1:PORT --ranges 0:31,0:31
 //! aims-cli top       --connect 127.0.0.1:PORT [--interval-ms 1000] [--iterations 0] \
 //!                    [--format table|json]
+//! aims-cli kernels   [--side 256]
 //! ```
 //!
 //! `generate` simulates a CyberGlove session to CSV; `ingest` runs the
@@ -45,7 +46,9 @@
 //! or remotely via `--connect` (the profile comes back over the wire);
 //! `top` polls a running server's METRICS_REQ and renders the telemetry
 //! snapshot as a live table (the reply is structured JSON; rendering is
-//! client-side).
+//! client-side); `kernels` prints the wavelet kernel dispatch table and
+//! the execution layer's autotuned tile/threshold, then times one serial
+//! 2-D transform per filter on this host.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -61,7 +64,7 @@ use aims::{AimsConfig, AimsSystem};
 fn usage() -> ! {
     eprintln!(
         "usage: aims-cli \
-<generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top> \
+<generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top|kernels> \
 [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
@@ -82,7 +85,8 @@ fn usage() -> ! {
                    [--format table|chrome] [--out <file>]\n\
          trace     --connect <host:port> --ranges <lo:hi,lo:hi>\n\
          top       --connect <host:port> [--interval-ms <n>] [--iterations <n>] \
-[--format table|json]"
+[--format table|json]\n\
+         kernels   [--side <n>]"
     );
     exit(2);
 }
@@ -993,6 +997,53 @@ fn cmd_top(flags: &HashMap<String, String>) {
     }
 }
 
+/// `aims-cli kernels` — report the kernel dispatch table and the
+/// autotuner's resolved tile/threshold, then time one serial 2-D
+/// transform per filter so a host's actual kernel speed is one command
+/// away (the numbers are the single-core side of experiment E29).
+fn cmd_kernels(flags: &HashMap<String, String>) {
+    use aims::dsp::dwt::{dwt_standard_md_with, idwt_standard_md_with};
+    use aims::dsp::filters::FilterKind;
+
+    let side: usize = flag(flags, "side", 256);
+    if !side.is_power_of_two() || side < 2 {
+        eprintln!("--side must be a power of two >= 2, got {side}");
+        exit(2);
+    }
+
+    let tune = aims::exec::tuning();
+    println!("autotuner ({}):", if tune.from_env { "AIMS_TILE override" } else { "calibrated" });
+    println!("  strided tile width:     {}", tune.tile);
+    println!("  serial-below threshold: {} elements", tune.par_threshold);
+
+    println!("\nkernel dispatch:");
+    for kind in FilterKind::ALL {
+        let f = kind.filter();
+        println!("  {:6} -> {}", f.name(), aims::dsp::kernel::kernel_name(&f));
+    }
+
+    let serial = aims::exec::ThreadPool::new(1);
+    let dims = [side, side];
+    let data: Vec<f64> =
+        (0..side * side).map(|i| ((i % 613) as f64 * 0.25).sin() + i as f64 * 1e-6).collect();
+    println!("\nserial 2-D DWT {side}x{side} (forward + inverse):");
+    let before = aims::telemetry::global().snapshot();
+    for kind in FilterKind::ALL {
+        let f = kind.filter();
+        let start = std::time::Instant::now();
+        let fwd = dwt_standard_md_with(&serial, &data, &dims, &f);
+        let inv = idwt_standard_md_with(&serial, &fwd, &dims, &f);
+        let elapsed = start.elapsed();
+        let worst = inv.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max);
+        println!("  {:6} {:>9.1?}  roundtrip max err {worst:.2e}", f.name(), elapsed);
+    }
+    let delta = aims::telemetry::global().snapshot().delta_since(&before);
+    println!(
+        "\nscratch reuse (dsp.kernel.scratch_reuse): {}",
+        delta.counter("dsp.kernel.scratch_reuse")
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -1010,6 +1061,7 @@ fn main() {
         "ingest-faults" => cmd_ingest_faults(&flags),
         "trace" => cmd_trace(&flags),
         "top" => cmd_top(&flags),
+        "kernels" => cmd_kernels(&flags),
         _ => usage(),
     }
 }
