@@ -48,6 +48,12 @@ AIMS_INGEST_FAULT_SEED=17 cargo test -q --test ingest_drill
 echo "== ingest drill (pinned seed 1017) =="
 AIMS_INGEST_FAULT_SEED=1017 cargo test -q --test ingest_drill
 
+echo "== crash matrix (pinned seed 17) =="
+AIMS_CRASH_SEED=17 cargo test -q --test crash_matrix
+
+echo "== crash matrix (pinned seed 2029) =="
+AIMS_CRASH_SEED=2029 cargo test -q --test crash_matrix
+
 if [[ $fast -eq 0 ]]; then
     echo "== bench_parallel (E24 serial-vs-parallel, bit-identical gate) =="
     cargo run --release -q -p aims-bench --bin experiments -- e24
@@ -93,6 +99,13 @@ EOF
     cargo run --release -q -p aims-bench --bin experiments -- e29
     test -f target/bench_kernels.json || {
         echo "E29 did not record target/bench_kernels.json" >&2
+        exit 1
+    }
+
+    echo "== bench_durability (E30 durability modes + crash-drill gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e30
+    test -f target/bench_durability.json || {
+        echo "E30 did not record target/bench_durability.json" >&2
         exit 1
     }
 

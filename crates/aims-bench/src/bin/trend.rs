@@ -165,6 +165,28 @@ fn collect_current() -> Result<Vec<(MetricSpec, f64)>, String> {
         ));
     }
 
+    // E30 — durability-mode write throughput ratios. Each side is a
+    // wall-clock run doing real fsyncs, so the ratio moves with the
+    // host's storage stack: wide band, ratcheted by --record.
+    if let Some(v) = load("target/bench_durability.json")? {
+        for (field, name) in [
+            ("none_over_always", "e30.none_over_always.speedup"),
+            ("periodic_over_always", "e30.periodic_over_always.speedup"),
+        ] {
+            let ratio =
+                v.num(field).ok_or_else(|| format!("bench_durability.json: missing {field}"))?;
+            out.push((
+                MetricSpec {
+                    name,
+                    direction: Direction::Higher,
+                    rel_tolerance: 0.75,
+                    abs_tolerance: 0.0,
+                },
+                ratio,
+            ));
+        }
+    }
+
     // E28 — tracing overhead ratio. Pure wall-time delta on a ~20 ms
     // run: the absolute band matters more than the relative one.
     if let Some(v) = load("target/bench_trace.json")? {

@@ -3,7 +3,7 @@
 //! The CIDR 2003 paper is a system-design paper: its "evaluation" is a set
 //! of quantitative claims rather than numbered result tables. Every claim
 //! is reproduced by one experiment here (E1–E19, plus extension
-//! experiments E20–E29; see `DESIGN.md` for the
+//! experiments E20–E30; see `DESIGN.md` for the
 //! claim → experiment index). `cargo run --release -p aims-bench --bin
 //! experiments` prints the full table set that `EXPERIMENTS.md` records;
 //! the Criterion benches under `benches/` cover the performance-shaped
@@ -11,6 +11,7 @@
 
 pub mod exp_acquisition;
 pub mod exp_adhd;
+pub mod exp_durability;
 pub mod exp_extensions;
 pub mod exp_faults;
 pub mod exp_ingest_faults;

@@ -102,6 +102,37 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
         BlockedCoefficients { device, block_size, n: coeffs.len(), block_energy }
     }
 
+    /// Rebuilds over an already-populated device — the reopen path for a
+    /// recovered durable device. The sequential layout
+    /// (`coefficient i → block i / B, offset i % B`) is implicit, so only
+    /// the unpadded coefficient count `len` is needed; the per-block
+    /// energy catalog is re-read from the device (raw reads — an
+    /// unreadable block contributes zero energy).
+    ///
+    /// # Panics
+    /// If the device is too small for `len` coefficients.
+    pub fn from_device(device: D, len: usize) -> Self {
+        assert!(len > 0, "cannot reopen an empty coefficient vector");
+        let block_size = device.block_size();
+        let num_blocks = len.div_ceil(block_size);
+        assert!(device.num_blocks() >= num_blocks, "device too small");
+        let mut buf = vec![0.0; block_size];
+        let block_energy: Vec<f64> = (0..num_blocks)
+            .map(|b| match device.read_raw_into(b, &mut buf) {
+                Ok(()) => buf.iter().map(|c| c * c).sum(),
+                Err(_) => 0.0,
+            })
+            .collect();
+        device.reset_stats();
+        BlockedCoefficients { device, block_size, n: len, block_energy }
+    }
+
+    /// Mutable access to the backing device (checkpoint / close hooks on
+    /// durable devices).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
     /// Coefficient count (unpadded).
     pub fn len(&self) -> usize {
         self.n

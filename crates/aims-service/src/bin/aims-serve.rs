@@ -2,17 +2,26 @@
 //!
 //! Usage:
 //!   aims-serve [--port P] [--side N] [--block B] [--cache C] [--queue Q] [--seed S]
+//!             [--data DIR] [--durability always|periodic[:K]|none]
 //!
 //! Binds 127.0.0.1 (port 0 picks a free port), prints
 //! `aims-serve listening on 127.0.0.1:{port}` once ready, and runs until
 //! a client sends a SHUTDOWN frame.
+//!
+//! With `--data DIR` the coefficient store lives on a durable
+//! [`FileDevice`] instead of memory: an existing directory is reopened
+//! (WAL recovery runs, the cube geometry comes from the device's header
+//! meta), a missing one is created, loaded from the demo cube, and
+//! checkpointed. Either way the service then serves every query from the
+//! on-disk store.
 
 use std::io::Write;
 use std::sync::Arc;
 
-use aims_dsp::filters::FilterKind;
-use aims_propolyne::DataCube;
+use aims_dsp::filters::{FilterKind, WaveletFilter};
+use aims_propolyne::{BlockedCoefficients, DataCube, WaveletCube};
 use aims_service::{QueryService, Server, ServiceConfig};
+use aims_storage::{BlockDevice, DurabilityMode, FileDevice, FileDeviceOptions};
 
 struct Opts {
     port: u16,
@@ -21,10 +30,21 @@ struct Opts {
     cache: usize,
     queue: usize,
     seed: u64,
+    data: Option<String>,
+    durability: DurabilityMode,
 }
 
 fn parse_opts() -> Result<Opts, String> {
-    let mut opts = Opts { port: 0, side: 64, block: 32, cache: 256, queue: 64, seed: 41 };
+    let mut opts = Opts {
+        port: 0,
+        side: 64,
+        block: 32,
+        cache: 256,
+        queue: 64,
+        seed: 41,
+        data: None,
+        durability: DurabilityMode::Always,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
@@ -35,9 +55,16 @@ fn parse_opts() -> Result<Opts, String> {
             "--cache" => opts.cache = value("--cache")?.parse().map_err(|e| format!("{e}"))?,
             "--queue" => opts.queue = value("--queue")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--data" => opts.data = Some(value("--data")?),
+            "--durability" => {
+                let raw = value("--durability")?;
+                opts.durability = DurabilityMode::parse(&raw)
+                    .ok_or_else(|| format!("bad durability mode {raw}"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: aims-serve [--port P] [--side N] [--block B] [--cache C] [--queue Q] [--seed S]"
+                    "usage: aims-serve [--port P] [--side N] [--block B] [--cache C] \
+                     [--queue Q] [--seed S] [--data DIR] [--durability MODE]"
                 );
                 std::process::exit(0);
             }
@@ -49,7 +76,7 @@ fn parse_opts() -> Result<Opts, String> {
 
 /// The deterministic demo cube every harness in this workspace uses: an
 /// N×N grid of small pseudo-random counts from one xorshift seed.
-fn demo_cube(side: usize, seed: u64) -> aims_propolyne::WaveletCube {
+fn demo_cube(side: usize, seed: u64) -> WaveletCube {
     let mut cube = DataCube::zeros(&[side, side]);
     let mut state = seed;
     for v in cube.values_mut() {
@@ -59,6 +86,94 @@ fn demo_cube(side: usize, seed: u64) -> aims_propolyne::WaveletCube {
         *v = (state % 9) as f64;
     }
     cube.transform(&FilterKind::Db4.filter())
+}
+
+/// Header meta blob for `--data` stores: dims + the filter name, enough
+/// to rebuild the cube geometry on reopen.
+fn encode_meta(dims: &[usize], filter: &WaveletFilter) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(dims.len() as u32).to_be_bytes());
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_be_bytes());
+    }
+    let name = filter.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+    out.extend_from_slice(name);
+    out
+}
+
+fn decode_meta(meta: &[u8]) -> Result<(Vec<usize>, WaveletFilter), String> {
+    let take = |buf: &[u8], at: usize, n: usize| -> Result<Vec<u8>, String> {
+        buf.get(at..at + n).map(|s| s.to_vec()).ok_or_else(|| "truncated meta".to_string())
+    };
+    let ndims = u32::from_be_bytes(take(meta, 0, 4)?.try_into().unwrap()) as usize;
+    let mut dims = Vec::with_capacity(ndims);
+    for k in 0..ndims {
+        dims.push(u64::from_be_bytes(take(meta, 4 + 8 * k, 8)?.try_into().unwrap()) as usize);
+    }
+    let off = 4 + 8 * ndims;
+    let name_len = u32::from_be_bytes(take(meta, off, 4)?.try_into().unwrap()) as usize;
+    let name = String::from_utf8(take(meta, off + 4, name_len)?).map_err(|e| format!("{e}"))?;
+    let filter = FilterKind::ALL
+        .into_iter()
+        .map(|k| k.filter())
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown filter {name} in device meta"))?;
+    Ok((dims, filter))
+}
+
+/// Opens (recovering) or creates-and-loads the durable store, returning
+/// the cube rebuilt from the device plus the blocked store over it.
+fn durable_store(opts: &Opts) -> Result<(WaveletCube, BlockedCoefficients<FileDevice>), String> {
+    let dir = opts.data.as_deref().expect("durable_store needs --data");
+    let dev_opts = FileDeviceOptions { mode: opts.durability, ..Default::default() };
+    if FileDevice::exists(dir) {
+        let device = FileDevice::open(dir, dev_opts).map_err(|e| format!("open {dir}: {e}"))?;
+        let r = device.recovery();
+        let (dims, filter) = decode_meta(device.meta())?;
+        let len: usize = dims.iter().product();
+        println!(
+            "aims-serve: reopened {dir} (replayed {} records, truncated {} bytes, lsn {})",
+            r.replayed_records, r.truncated_bytes, r.recovered_lsn
+        );
+        let mut coeffs = Vec::with_capacity(len);
+        for b in 0..len.div_ceil(device.block_size()) {
+            let data = device.read_block(b).map_err(|e| format!("block {b}: {e}"))?;
+            coeffs.extend_from_slice(&data);
+        }
+        coeffs.truncate(len);
+        let cube = WaveletCube::from_coeffs(&dims, coeffs, filter);
+        Ok((cube, BlockedCoefficients::from_device(device, len)))
+    } else {
+        let cube = demo_cube(opts.side, opts.seed);
+        let meta = encode_meta(cube.dims(), cube.filter());
+        let mut blocked = BlockedCoefficients::on_device(cube.coeffs(), opts.block, |bs, nb| {
+            FileDevice::create(dir, bs, nb, FileDeviceOptions { meta, ..dev_opts })
+                .unwrap_or_else(|e| panic!("create {dir}: {e}"))
+        });
+        blocked.device_mut().checkpoint();
+        println!(
+            "aims-serve: created {dir} ({} blocks, {})",
+            blocked.num_blocks(),
+            opts.durability.label()
+        );
+        Ok((cube, blocked))
+    }
+}
+
+fn serve<D: BlockDevice + Send + Sync + 'static>(service: Arc<QueryService<D>>, port: u16) {
+    let server = match Server::spawn(Arc::clone(&service), &format!("127.0.0.1:{port}")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("aims-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("aims-serve listening on 127.0.0.1:{}", server.port());
+    std::io::stdout().flush().ok();
+    server.join();
+    service.shutdown();
+    println!("aims-serve: clean shutdown");
 }
 
 fn main() {
@@ -74,17 +189,17 @@ fn main() {
         cache_blocks: opts.cache,
         ..ServiceConfig::default()
     };
-    let service = Arc::new(QueryService::new(demo_cube(opts.side, opts.seed), opts.block, config));
-    let server = match Server::spawn(Arc::clone(&service), &format!("127.0.0.1:{}", opts.port)) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("aims-serve: bind failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    println!("aims-serve listening on 127.0.0.1:{}", server.port());
-    std::io::stdout().flush().ok();
-    server.join();
-    service.shutdown();
-    println!("aims-serve: clean shutdown");
+    if opts.data.is_some() {
+        let (cube, blocked) = match durable_store(&opts) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("aims-serve: {e}");
+                std::process::exit(1);
+            }
+        };
+        serve(Arc::new(QueryService::with_blocked(cube, blocked, config)), opts.port);
+    } else {
+        let service = QueryService::new(demo_cube(opts.side, opts.seed), opts.block, config);
+        serve(Arc::new(service), opts.port);
+    }
 }

@@ -349,9 +349,24 @@ impl<D: BlockDevice + Send + Sync + 'static> QueryService<D> {
         config: ServiceConfig,
         make: impl FnOnce(usize, usize) -> D,
     ) -> Self {
+        let blocked = BlockedCoefficients::on_device(cube.coeffs(), block_size, make);
+        QueryService::with_blocked(cube, blocked, config)
+    }
+
+    /// Builds a service over an already-populated blocked store — the
+    /// reopen path: the coefficients were recovered from a durable
+    /// device, not loaded from `cube`, so nothing is written. The cube
+    /// (typically rebuilt from the same device via
+    /// `WaveletCube::from_coeffs`) must match the store's coefficient
+    /// count.
+    pub fn with_blocked(
+        cube: WaveletCube,
+        blocked: BlockedCoefficients<D>,
+        config: ServiceConfig,
+    ) -> Self {
         assert!(config.round_blocks > 0, "round budget must be positive");
         assert!(config.max_batch > 0, "batch size must be positive");
-        let blocked = BlockedCoefficients::on_device(cube.coeffs(), block_size, make);
+        assert_eq!(blocked.len(), cube.coeffs().len(), "blocked store / cube size mismatch");
         let engine = Propolyne::new(cube);
         let data_energy = blocked.data_energy();
         let threads = config.threads.unwrap_or_else(configured_threads);

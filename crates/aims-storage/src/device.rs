@@ -23,7 +23,7 @@ use aims_telemetry::{global, Counter};
 
 /// Cached handles to the global `storage.device.{reads,writes}` counters,
 /// so the per-access cost is one atomic add rather than a registry probe.
-fn io_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+pub(crate) fn io_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
     static C: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
     C.get_or_init(|| {
         (global().counter("storage.device.reads"), global().counter("storage.device.writes"))
@@ -41,6 +41,18 @@ pub fn fnv1a_f64(data: &[f64]) -> u64 {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+    h
+}
+
+/// FNV-1a over raw bytes — same constants as [`fnv1a_f64`], used for the
+/// WAL record and file-header checksums where the payload is already a
+/// byte stream.
+pub fn fnv1a_bytes(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
@@ -189,6 +201,23 @@ pub trait BlockDevice {
     }
 }
 
+/// Raw-media access below the checksum layer: the hooks fault injection
+/// needs to simulate corrupt hardware on any backing device.
+///
+/// [`MemDevice`] and the file-backed `FileDevice` both implement this, so
+/// [`crate::faults::FaultyDevice`] can layer deterministic faults over
+/// volatile and durable media alike.
+pub trait RawMedia: BlockDevice {
+    /// Overwrites the stored payload WITHOUT updating the checksum or the
+    /// write counter — the media-corruption hook used by fault injection
+    /// and the checksum tests.
+    fn patch_raw(&mut self, id: usize, data: &[f64]);
+
+    /// Uncounted copy of the currently stored payload (introspection and
+    /// torn-write simulation; ignores checksums).
+    fn raw_payload(&self, id: usize) -> Vec<f64>;
+}
+
 /// The instrumented in-memory device: infallible media, checksummed reads.
 #[derive(Debug)]
 pub struct MemDevice {
@@ -247,6 +276,16 @@ impl MemDevice {
         assert!(bit < 64, "bit {bit} out of range");
         let v = &mut self.blocks[id][item];
         *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
+    }
+}
+
+impl RawMedia for MemDevice {
+    fn patch_raw(&mut self, id: usize, data: &[f64]) {
+        MemDevice::patch_raw(self, id, data);
+    }
+
+    fn raw_payload(&self, id: usize) -> Vec<f64> {
+        self.raw_block(id).to_vec()
     }
 }
 

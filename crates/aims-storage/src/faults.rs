@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use aims_telemetry::global;
 
-use crate::device::{BlockDevice, DeviceStats, MemDevice, ReadError, ReadErrorKind};
+use crate::device::{BlockDevice, DeviceStats, MemDevice, RawMedia, ReadError, ReadErrorKind};
 
 /// Fault classes the schedule can produce (used for labeling matrices and
 /// CLI flags; the plan itself is rate-based).
@@ -111,7 +111,8 @@ const SALT_DEAD: u64 = 0x4004;
 const SALT_LATENCY: u64 = 0x5005;
 
 /// SplitMix64 over the combined (seed, block, attempt, salt) tuple.
-fn mix(seed: u64, block: u64, attempt: u64, salt: u64) -> u64 {
+/// Shared with the crash-point schedule in [`crate::file`].
+pub(crate) fn mix(seed: u64, block: u64, attempt: u64, salt: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(block.wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -123,7 +124,7 @@ fn mix(seed: u64, block: u64, attempt: u64, salt: u64) -> u64 {
 }
 
 /// Uniform draw in `[0, 1)` from a hash.
-fn chance(h: u64) -> f64 {
+pub(crate) fn chance(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -138,17 +139,27 @@ struct FaultState {
     torn: BTreeSet<usize>,
 }
 
-/// A [`MemDevice`] behind a deterministic fault schedule.
+/// Any [`RawMedia`] device behind a deterministic fault schedule — the
+/// in-memory [`MemDevice`] by default, or the durable
+/// [`crate::file::FileDevice`] so media faults can be layered over a
+/// recovered on-disk store.
 #[derive(Debug)]
-pub struct FaultyDevice {
-    inner: MemDevice,
+pub struct FaultyDevice<D: RawMedia = MemDevice> {
+    inner: D,
     plan: FaultPlan,
     state: Mutex<FaultState>,
 }
 
-impl FaultyDevice {
+impl FaultyDevice<MemDevice> {
+    /// Convenience factory matching `MemDevice::new`.
+    pub fn with_plan(block_size: usize, num_blocks: usize, plan: FaultPlan) -> Self {
+        FaultyDevice::new(MemDevice::new(block_size, num_blocks), plan)
+    }
+}
+
+impl<D: RawMedia> FaultyDevice<D> {
     /// Wraps an existing device.
-    pub fn new(inner: MemDevice, plan: FaultPlan) -> Self {
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
         let blocks = inner.num_blocks();
         FaultyDevice {
             inner,
@@ -161,18 +172,13 @@ impl FaultyDevice {
         }
     }
 
-    /// Convenience factory matching `MemDevice::new`.
-    pub fn with_plan(block_size: usize, num_blocks: usize, plan: FaultPlan) -> Self {
-        FaultyDevice::new(MemDevice::new(block_size, num_blocks), plan)
-    }
-
     /// The schedule in force.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
 
     /// The wrapped device.
-    pub fn inner(&self) -> &MemDevice {
+    pub fn inner(&self) -> &D {
         &self.inner
     }
 
@@ -214,7 +220,7 @@ impl FaultyDevice {
     }
 }
 
-impl BlockDevice for FaultyDevice {
+impl<D: RawMedia> BlockDevice for FaultyDevice<D> {
     fn block_size(&self) -> usize {
         self.inner.block_size()
     }
@@ -276,7 +282,7 @@ impl BlockDevice for FaultyDevice {
             // intended payload, so verified reads fail until a rewrite.
             let len =
                 (mix(self.plan.seed, id as u64, op, SALT_TORN_LEN) % data.len() as u64) as usize;
-            let mut durable = self.inner.raw_block(id).to_vec();
+            let mut durable = self.inner.raw_payload(id);
             durable[..len].copy_from_slice(&data[..len]);
             self.inner.write_block(id, data);
             if durable != data {

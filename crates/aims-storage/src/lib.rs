@@ -36,6 +36,11 @@
 //!   AIMS.
 //! - [`snapshot`]: versioned binary persistence of a store (the paper's
 //!   BLOB/raw-disk plan, §4).
+//! - [`file`]: the durable file-backed device ([`FileDevice`]) — per-block
+//!   checksums, a length-prefixed checksummed WAL with monotone LSNs,
+//!   periodic checkpointing, torn-tail-truncating recovery, three
+//!   durability modes, and seeded crash points for provably exact
+//!   recovery.
 
 pub mod alloc;
 pub mod buffer;
@@ -43,6 +48,7 @@ pub mod cache;
 pub mod device;
 pub mod error_tree;
 pub mod faults;
+pub mod file;
 pub mod progressive;
 pub mod snapshot;
 pub mod store;
@@ -51,8 +57,12 @@ pub use alloc::{Allocation, RandomAlloc, SequentialAlloc, TreeTilingAlloc};
 pub use buffer::BufferPool;
 pub use cache::{BlockFetch, CacheStats, SharedBlockCache};
 pub use device::{
-    fnv1a_f64, BlockDevice, DeviceStats, MemDevice, ReadError, ReadErrorKind, RetryPolicy,
+    fnv1a_bytes, fnv1a_f64, BlockDevice, DeviceStats, MemDevice, RawMedia, ReadError,
+    ReadErrorKind, RetryPolicy,
 };
 pub use error_tree::{point_query_set, range_query_set, ErrorTree};
 pub use faults::{FaultKind, FaultPlan, FaultyDevice};
+pub use file::{
+    CrashPlan, DurabilityMode, FileDevice, FileDeviceOptions, RecoveryReport, WalStats,
+};
 pub use store::{FetchOutcome, QueryOutcome, WaveletStore};

@@ -165,6 +165,48 @@ impl<D: BlockDevice> WaveletStore<D> {
         WaveletStore { device, alloc, locations, block_energy, n }
     }
 
+    /// Rebuilds a store over an already-populated device — the reopen
+    /// path for a recovered [`crate::file::FileDevice`]. The allocation
+    /// and coefficient→slot map are pure functions of
+    /// `(n, block_size, kind)`, so they reconstruct exactly; the
+    /// per-block energy catalog is re-read from the device (raw reads —
+    /// an unreadable block contributes zero energy, the conservative
+    /// degraded-path default).
+    ///
+    /// # Panics
+    /// If `n` is not a power of two ≥ 2 or the device is too small for
+    /// the allocation.
+    pub fn reopen(device: D, kind: AllocKind, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "signal length must be a power of two ≥ 2");
+        let block_size = device.block_size();
+        let alloc = match kind {
+            AllocKind::Sequential => AnyAlloc::Sequential(SequentialAlloc::new(n, block_size)),
+            AllocKind::Random(seed) => AnyAlloc::Random(RandomAlloc::new(n, block_size, seed)),
+            AllocKind::TreeTiling => AnyAlloc::Tiling(TreeTilingAlloc::new(n, block_size)),
+        };
+        let adyn = alloc.as_dyn();
+        assert!(device.num_blocks() >= adyn.num_blocks(), "device too small for allocation");
+
+        let mut locations = Vec::with_capacity(n);
+        let mut fill = vec![0usize; adyn.num_blocks()];
+        for i in 0..n {
+            let b = adyn.block_of(i);
+            locations.push((b, fill[b]));
+            fill[b] += 1;
+        }
+
+        let mut buf = vec![0.0; block_size];
+        let block_energy: Vec<f64> = (0..adyn.num_blocks())
+            .map(|b| match device.read_raw_into(b, &mut buf) {
+                Ok(()) => buf.iter().map(|c| c * c).sum(),
+                Err(_) => 0.0,
+            })
+            .collect();
+        device.reset_stats();
+
+        WaveletStore { device, alloc, locations, block_energy, n }
+    }
+
     /// Signal length / coefficient count.
     pub fn len(&self) -> usize {
         self.n
@@ -188,6 +230,12 @@ impl<D: BlockDevice> WaveletStore<D> {
     /// The backing device.
     pub fn device(&self) -> &D {
         &self.device
+    }
+
+    /// Mutable access to the backing device (checkpoint / close hooks on
+    /// durable devices).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
     }
 
     /// `Σ c²` of the coefficients stored in `block` (load-time catalog
