@@ -54,6 +54,12 @@ AIMS_CRASH_SEED=17 cargo test -q --test crash_matrix
 echo "== crash matrix (pinned seed 2029) =="
 AIMS_CRASH_SEED=2029 cargo test -q --test crash_matrix
 
+echo "== chaos drill (pinned seed 4242) =="
+AIMS_CHAOS_SEED=4242 cargo test -q --test chaos_drill
+
+echo "== chaos drill (pinned seed 9001) =="
+AIMS_CHAOS_SEED=9001 cargo test -q --test chaos_drill
+
 if [[ $fast -eq 0 ]]; then
     echo "== bench_parallel (E24 serial-vs-parallel, bit-identical gate) =="
     cargo run --release -q -p aims-bench --bin experiments -- e24
@@ -106,6 +112,13 @@ EOF
     cargo run --release -q -p aims-bench --bin experiments -- e30
     test -f target/bench_durability.json || {
         echo "E30 did not record target/bench_durability.json" >&2
+        exit 1
+    }
+
+    echo "== bench_chaos (E31 adaptive QoS: chaos drill + scheduling gate) =="
+    AIMS_CHAOS_SEED=4242 cargo run --release -q -p aims-bench --bin experiments -- e31
+    test -f target/bench_chaos.json || {
+        echo "E31 did not record target/bench_chaos.json" >&2
         exit 1
     }
 

@@ -187,6 +187,56 @@ fn collect_current() -> Result<Vec<(MetricSpec, f64)>, String> {
         }
     }
 
+    // E31 — adaptive QoS. The scheduling comparison (boost-weighted
+    // FIFO/utility bound-area ratio) is deterministic once the cohort
+    // is gathered, so it gets a modest band; the drill's shed fraction
+    // is a seeded workload property with a little admission-timing
+    // slack; recovery time and overload p99 are wall-clock numbers on
+    // a flooded service, so they get absolute bands wide enough for a
+    // loaded CI host.
+    if let Some(v) = load("target/bench_chaos.json")? {
+        let ratio = v.num("auc_ratio").ok_or("bench_chaos.json: missing auc_ratio")?;
+        out.push((
+            MetricSpec {
+                name: "e31.auc_ratio",
+                direction: Direction::Higher,
+                rel_tolerance: 0.15,
+                abs_tolerance: 0.0,
+            },
+            ratio,
+        ));
+        let shed = v.num("shed_fraction").ok_or("bench_chaos.json: missing shed_fraction")?;
+        out.push((
+            MetricSpec {
+                name: "e31.shed_fraction",
+                direction: Direction::Lower,
+                rel_tolerance: 0.25,
+                abs_tolerance: 0.05,
+            },
+            shed,
+        ));
+        let recovery = v.num("recovery_ms").ok_or("bench_chaos.json: missing recovery_ms")?;
+        out.push((
+            MetricSpec {
+                name: "e31.recovery_ms",
+                direction: Direction::Lower,
+                rel_tolerance: 0.0,
+                abs_tolerance: 500.0,
+            },
+            recovery,
+        ));
+        let p99 = v.num("p99_overload_ms").ok_or("bench_chaos.json: missing p99_overload_ms")?;
+        out.push((
+            MetricSpec {
+                name: "e31.p99_overload_ms",
+                direction: Direction::Lower,
+                rel_tolerance: 2.0,
+                abs_tolerance: 10.0,
+            },
+            p99,
+        ));
+    }
+
     // E28 — tracing overhead ratio. Pure wall-time delta on a ~20 ms
     // run: the absolute band matters more than the relative one.
     if let Some(v) = load("target/bench_trace.json")? {

@@ -140,7 +140,10 @@ pub fn e27_service_sharing() {
     }
     let accepted_count = accepted.len();
     for h in accepted {
-        assert!(matches!(h.wait(), Outcome::Done(_)), "accepted queries must still finish");
+        assert!(
+            matches!(h.wait(), Outcome::Done(_) | Outcome::Shed(_)),
+            "accepted queries must still finish (exactly or with a best-so-far answer)"
+        );
     }
     let accepted = accepted_count;
     tiny.shutdown();

@@ -11,6 +11,7 @@
 
 pub mod exp_acquisition;
 pub mod exp_adhd;
+pub mod exp_chaos;
 pub mod exp_durability;
 pub mod exp_extensions;
 pub mod exp_faults;

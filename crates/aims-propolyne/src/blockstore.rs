@@ -168,6 +168,13 @@ impl<D: BlockDevice> BlockedCoefficients<D> {
         self.block_energy[b]
     }
 
+    /// The whole block-energy catalog, indexed by block id. The adaptive
+    /// QoS scheduler reads this to price each plan block's expected
+    /// error-bound reduction without touching the device.
+    pub fn block_energies(&self) -> &[f64] {
+        &self.block_energy
+    }
+
     /// The distinct device blocks a prepared query will touch, ascending.
     ///
     /// This is the plan-observation hook the serving layer's shared-scan

@@ -135,6 +135,14 @@ impl<T> AdmissionController<T> {
         (q.interactive.len(), q.batch.len())
     }
 
+    /// Queue fullness in `[0, 1]` — the overload signal the adaptive QoS
+    /// controller maps to a degradation tier, so graduated shedding
+    /// engages well before `submit` starts returning
+    /// [`ServiceError::QueueFull`].
+    pub fn pressure(&self) -> f64 {
+        self.queues.lock().unwrap().len() as f64 / self.capacity as f64
+    }
+
     /// Closes the door (subsequent `submit`s get `ShuttingDown`) and
     /// returns every still-queued ticket so the caller can notify owners.
     pub fn close(&self) -> Vec<T> {
@@ -200,6 +208,17 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         a.submit(7, Priority::Interactive).unwrap();
         assert_eq!(waiter.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn pressure_tracks_fullness() {
+        let a = AdmissionController::new(4);
+        assert_eq!(a.pressure(), 0.0);
+        a.submit(1, Priority::Interactive).unwrap();
+        a.submit(2, Priority::Batch).unwrap();
+        assert_eq!(a.pressure(), 0.5);
+        a.drain(2, Duration::ZERO);
+        assert_eq!(a.pressure(), 0.0);
     }
 
     #[test]

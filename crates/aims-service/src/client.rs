@@ -54,8 +54,8 @@ pub enum ClientEvent {
 pub struct RemoteOutcome {
     /// Every refinement received, in order.
     pub trace: Vec<Refinement>,
-    /// The terminal frame's classification (`Done`, `DeadlineExpired` or
-    /// `Cancelled`).
+    /// The terminal frame's classification (`Done`, `DeadlineExpired`,
+    /// `Shed` or `Cancelled`).
     pub kind: ProgressKind,
     /// The terminal refinement (absent for `Cancelled`).
     pub last: Option<Refinement>,
@@ -106,7 +106,7 @@ impl TcpClient {
         }
         loop {
             match read_frame(&mut self.stream)? {
-                Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
+                Frame::Progress { req_id, kind, round, used, total, estimate, bound, tier } => {
                     return Ok(ClientEvent::Progress {
                         req_id,
                         kind,
@@ -116,6 +116,7 @@ impl TcpClient {
                             total_coefficients: total as usize,
                             estimate,
                             error_bound: bound,
+                            tier,
                         },
                     });
                 }
@@ -144,7 +145,7 @@ impl TcpClient {
         loop {
             match read_frame(&mut self.stream)? {
                 Frame::MetricsReply { json } => return Ok(json),
-                Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
+                Frame::Progress { req_id, kind, round, used, total, estimate, bound, tier } => {
                     self.buffered.push_back(ClientEvent::Progress {
                         req_id,
                         kind,
@@ -154,6 +155,7 @@ impl TcpClient {
                             total_coefficients: total as usize,
                             estimate,
                             error_bound: bound,
+                            tier,
                         },
                     });
                 }
@@ -224,7 +226,7 @@ impl TcpClient {
                                 profile,
                             });
                         }
-                        ProgressKind::DeadlineExpired => {
+                        ProgressKind::DeadlineExpired | ProgressKind::Shed => {
                             return Ok(RemoteOutcome {
                                 trace,
                                 kind,

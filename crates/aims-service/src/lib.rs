@@ -19,6 +19,12 @@
 //! - [`session`]: progressive delivery — monotonically refining
 //!   estimates with Cauchy–Schwarz error bounds, cancellation that
 //!   actually halts block fetches, per-query deadlines.
+//! - [`qos`]: the adaptive QoS layer — a utility-based round scheduler
+//!   that spends each round's block budget where it shrinks aggregate
+//!   error bounds fastest, and graduated load shedding that walks
+//!   overloaded sessions through [`Tier`]s (coarser cadence → widened
+//!   bounds → best-so-far early termination) with hysteresis, before
+//!   any typed rejection.
 //! - [`profile`]: per-query cost attribution — every traced (or slow)
 //!   query yields a [`QueryProfile`] with queue wait, block/cache/retry
 //!   accounting, degraded-block count, and the per-round error-bound
@@ -46,6 +52,7 @@ pub mod admission;
 pub mod client;
 pub mod error;
 pub mod profile;
+pub mod qos;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -55,7 +62,8 @@ pub use admission::{AdmissionController, Priority};
 pub use client::{ClientEvent, RemoteOutcome, TcpClient};
 pub use error::ServiceError;
 pub use profile::{QueryProfile, SlowQueryEntry, SlowQueryLog, SlowReason, TrajectoryPoint};
+pub use qos::{QosConfig, SchedulerPolicy, Tier};
 pub use server::Server;
-pub use service::{QueryService, ServiceConfig};
+pub use service::{QosStats, QueryService, ServiceConfig};
 pub use session::{Outcome, Polled, QuerySpec, Refinement, SessionHandle, Update};
 pub use wire::{Frame, ProgressKind};

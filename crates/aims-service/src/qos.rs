@@ -1,0 +1,516 @@
+//! Adaptive QoS: degradation tiers, a hysteresis overload controller,
+//! and the utility-based round scheduler (ROADMAP item 5).
+//!
+//! The design follows the coordination framing of "Towards Coordinated
+//! Bandwidth Adaptations for Hundred-Scale 3D Tele-Immersive Systems"
+//! (PAPERS.md): many sessions share one refinement budget, and overload
+//! should degrade *answer precision* — coarser refinement cadence, then
+//! widened target bounds, then early termination with the best answer so
+//! far — before any session is refused outright. Two pieces live here:
+//!
+//! - [`DegradeController`]: maps admission-queue pressure to a service
+//!   [`Tier`] with enter/exit hysteresis, so a pressure spike escalates
+//!   quickly but recovery is smooth (no tier flapping at a threshold).
+//! - [`select_round_blocks`]: allocates each shared-scan round's block
+//!   budget across sessions to maximize aggregate expected error-bound
+//!   reduction. The marginal utility of a session's next plan block is
+//!   the block-local Cauchy–Schwarz term `sqrt(w²_in_block · E_block)`
+//!   from the store's block-energy catalog, normalized by the session's
+//!   initial bound (relative progress), its class, and its deadline
+//!   slack; the budget charges device reads only, so cache-resident
+//!   grants are free and blocks selected ahead of a session's prefix
+//!   act as prefetches. The scheduler still *grants* each session only
+//!   a contiguous prefix of its remaining plan, which preserves the
+//!   bit-identity invariant: entries are consumed in ascending
+//!   flat-offset order with one accumulator per query, so final answers
+//!   never depend on the policy.
+
+use std::collections::BTreeSet;
+
+/// Graduated degradation level of a session (and of the service as a
+/// whole). Ordered: higher tiers degrade harder.
+#[derive(Clone, Copy, Debug, Eq, Ord, PartialEq, PartialOrd)]
+pub enum Tier {
+    /// Full service: every round delivers a refinement, queries run to
+    /// their exact answer.
+    Normal,
+    /// Coarser refinement cadence: progress updates are delivered every
+    /// `coarse_cadence` rounds (terminals always delivered).
+    Coarse,
+    /// Widened target bound: the session completes (`Done`, with a
+    /// guaranteed non-zero bound) once its error bound falls below
+    /// `widen_rel` of its initial bound.
+    Widened,
+    /// Early termination: the session is retired with its best answer so
+    /// far (`Update::Shed`), never an error.
+    Shed,
+}
+
+impl Tier {
+    /// All tiers, lowest to highest.
+    pub const ALL: [Tier; 4] = [Tier::Normal, Tier::Coarse, Tier::Widened, Tier::Shed];
+
+    /// Stable wire encoding (the PROGRESS frame's trailing tier byte).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Tier::Normal => 0,
+            Tier::Coarse => 1,
+            Tier::Widened => 2,
+            Tier::Shed => 3,
+        }
+    }
+
+    /// Decodes the wire encoding.
+    pub fn from_wire(b: u8) -> Option<Tier> {
+        match b {
+            0 => Some(Tier::Normal),
+            1 => Some(Tier::Coarse),
+            2 => Some(Tier::Widened),
+            3 => Some(Tier::Shed),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (used by session rows and `aims-cli top`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Normal => "normal",
+            Tier::Coarse => "coarse",
+            Tier::Widened => "widened",
+            Tier::Shed => "shed",
+        }
+    }
+
+    /// One tier harder, saturating at [`Tier::Shed`].
+    pub fn escalated(self) -> Tier {
+        match self {
+            Tier::Normal => Tier::Coarse,
+            Tier::Coarse => Tier::Widened,
+            _ => Tier::Shed,
+        }
+    }
+
+    /// One tier softer, saturating at [`Tier::Normal`].
+    pub fn relaxed(self) -> Tier {
+        match self {
+            Tier::Shed => Tier::Widened,
+            Tier::Widened => Tier::Coarse,
+            _ => Tier::Normal,
+        }
+    }
+}
+
+/// Which block-selection policy the shared scan uses.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum SchedulerPolicy {
+    /// The pre-QoS behavior: ascending union of every active plan's
+    /// remaining blocks, capped at the round budget.
+    Fifo,
+    /// Utility-ranked selection: the budget goes to the blocks with the
+    /// highest aggregate expected error-bound reduction.
+    Utility,
+}
+
+/// Tuning knobs for the adaptive QoS layer.
+#[derive(Clone, Debug)]
+pub struct QosConfig {
+    /// Block-selection policy for the shared scan.
+    pub policy: SchedulerPolicy,
+    /// Graduated load shedding on/off. Off keeps every session at
+    /// [`Tier::Normal`] regardless of pressure (the non-degraded path).
+    pub shedding: bool,
+    /// Queue pressure (queued / capacity) at which the service escalates
+    /// into tiers 1..=3, checked in order.
+    pub enter_pressure: [f64; 3],
+    /// Queue pressure below which the service recovers out of tiers
+    /// 1..=3. Each must sit below the matching `enter_pressure` — the
+    /// gap is the hysteresis band.
+    pub exit_pressure: [f64; 3],
+    /// Consecutive observations at/above an enter threshold before the
+    /// tier escalates.
+    pub escalate_rounds: u32,
+    /// Consecutive observations at/below an exit threshold before the
+    /// tier recovers one step.
+    pub recover_rounds: u32,
+    /// At [`Tier::Coarse`] and harder, deliver a progress update every
+    /// this many rounds.
+    pub coarse_cadence: u32,
+    /// At [`Tier::Widened`], a session completes once its bound falls
+    /// below this fraction of its initial bound.
+    pub widen_rel: f64,
+    /// Utility multiplier for interactive sessions (batch weight is 1).
+    pub interactive_boost: f64,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            policy: SchedulerPolicy::Utility,
+            shedding: true,
+            enter_pressure: [0.50, 0.75, 0.95],
+            exit_pressure: [0.25, 0.45, 0.70],
+            escalate_rounds: 2,
+            recover_rounds: 6,
+            coarse_cadence: 4,
+            widen_rel: 0.10,
+            interactive_boost: 2.0,
+        }
+    }
+}
+
+/// What one pressure observation did to the service tier.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum TierChange {
+    /// Tier unchanged.
+    None,
+    /// Escalated one step (to the carried tier).
+    Escalated(Tier),
+    /// Recovered one step (to the carried tier).
+    Recovered(Tier),
+}
+
+/// Hysteresis state machine mapping queue pressure to a service tier.
+///
+/// Escalation and recovery both require a *sustained* signal
+/// (`escalate_rounds` / `recover_rounds` consecutive observations), and
+/// the exit thresholds sit strictly below the enter thresholds, so the
+/// tier neither flaps at a boundary nor collapses the moment one round
+/// of headroom appears.
+#[derive(Debug)]
+pub struct DegradeController {
+    tier: Tier,
+    above: u32,
+    below: u32,
+}
+
+impl Default for DegradeController {
+    fn default() -> Self {
+        DegradeController::new()
+    }
+}
+
+impl DegradeController {
+    /// A controller starting at [`Tier::Normal`].
+    pub fn new() -> Self {
+        DegradeController { tier: Tier::Normal, above: 0, below: 0 }
+    }
+
+    /// The current service tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Feeds one pressure observation (queued / capacity, in `[0, 1]`).
+    pub fn observe(&mut self, pressure: f64, cfg: &QosConfig) -> TierChange {
+        if !cfg.shedding {
+            self.tier = Tier::Normal;
+            return TierChange::None;
+        }
+        // Escalation: pressure sustained at/above the *next* tier's
+        // enter threshold.
+        if self.tier != Tier::Shed {
+            let next = self.tier.escalated();
+            if pressure >= cfg.enter_pressure[next.to_wire() as usize - 1] {
+                self.above += 1;
+                self.below = 0;
+                if self.above >= cfg.escalate_rounds {
+                    self.tier = next;
+                    self.above = 0;
+                    return TierChange::Escalated(self.tier);
+                }
+                return TierChange::None;
+            }
+        }
+        self.above = 0;
+        // Recovery: pressure sustained at/below the *current* tier's
+        // exit threshold.
+        if self.tier != Tier::Normal
+            && pressure <= cfg.exit_pressure[self.tier.to_wire() as usize - 1]
+        {
+            self.below += 1;
+            if self.below >= cfg.recover_rounds {
+                self.tier = self.tier.relaxed();
+                self.below = 0;
+                return TierChange::Recovered(self.tier);
+            }
+        } else {
+            self.below = 0;
+        }
+        TierChange::None
+    }
+}
+
+/// The per-session view the utility scheduler ranks: the session's
+/// remaining plan (ascending block ids), the matching per-block bound
+/// gains, and a scalar priority weight (class boost × deadline urgency ÷
+/// initial bound).
+pub(crate) struct SessionLens<'a> {
+    /// Remaining plan blocks, ascending (from the session's plan cursor).
+    pub plan: &'a [usize],
+    /// `gain[k]` = `sqrt(Σw² in plan[k] · E_{plan[k]})` — the block-local
+    /// Cauchy–Schwarz term, i.e. the most consuming `plan[k]` can shrink
+    /// this session's error bound.
+    pub gain: &'a [f64],
+    /// Utility multiplier for this session.
+    pub weight: f64,
+}
+
+/// Allocates a round's block budget across sessions by weighted fair
+/// sharing, with the budget charging *device reads only* (`is_cached`
+/// blocks ride free).
+///
+/// Each plan is a precedence chain: a block refines a session's bound
+/// only once every plan block before it has been consumed, so the only
+/// real scheduling freedom is *how much of each session's next prefix*
+/// a round serves — fetching a deep high-energy block early just parks
+/// it until its predecessors arrive. (Two measured dead ends confirm
+/// this: a demand-density prefix auction that fetched mass out of
+/// consumption order plateaued sessions ~2–3× longer than the shared
+/// ascending sweep, and a whole-session weighted-shortest-remaining
+/// rule batched one session to its tail while everyone else idled at
+/// their initial bound, ~4× worse.)
+///
+/// So the budget's read slots are apportioned across sessions in
+/// proportion to each one's *marginal utility share*: `weight × Σ
+/// remaining gain`, i.e. class boost × deadline urgency × the fraction
+/// of its initial bound still outstanding. Apportionment uses the
+/// D'Hondt divisor rule — repeatedly grant one slot to the session
+/// maximizing `share / (1 + slots_granted)` — which is deterministic,
+/// proportional, and starvation-free: a light session's quotient is
+/// untouched while heavy sessions' quotients shrink with every grant,
+/// so it is reached within a bounded number of rounds.
+///
+/// Each slot advances its session's remaining prefix to the next
+/// uncached unselected block and selects it. Blocks that are cache-
+/// resident or already selected for another session are granted free
+/// along the way — catch-up through a shared or previously-fetched
+/// region never competes with fresh refinement for I/O. That free
+/// riding is how the shared scan's amortization survives the
+/// weighting: when a heavy session's slot selects a coarse block, every
+/// other session whose frontier is that block advances without
+/// spending a slot. With uniform weights the result degenerates to the
+/// fair shared sweep (everyone's frontier advances, most-behind
+/// sessions first); with differentiated classes the interactive
+/// sessions' bounds provably tighten in proportion to their boost.
+///
+/// Ties break toward earlier submission order, so selection is
+/// deterministic. The round stays bounded: at most `budget` device
+/// reads plus one cache's worth of free grants.
+pub(crate) fn select_round_blocks(
+    sessions: &[SessionLens],
+    budget: usize,
+    is_cached: impl Fn(usize) -> bool,
+) -> BTreeSet<usize> {
+    // Marginal utility share: weight × remaining bound mass. The +ε
+    // keeps zero-energy tails schedulable (they still advance cursors
+    // toward completion).
+    let shares: Vec<f64> =
+        sessions.iter().map(|s| s.weight * (s.gain.iter().sum::<f64>() + 1e-12)).collect();
+    let mut selected: BTreeSet<usize> = BTreeSet::new();
+    let mut frontier: Vec<usize> = vec![0; sessions.len()];
+    let mut slots: Vec<usize> = vec![0; sessions.len()];
+    let mut charged = 0usize;
+    while charged < budget {
+        // Sweep every frontier through blocks that are free this round
+        // — already selected, or cache-resident (granted without
+        // charge).
+        for (j, s) in sessions.iter().enumerate() {
+            while frontier[j] < s.plan.len() {
+                let b = s.plan[frontier[j]];
+                if selected.contains(&b) {
+                    frontier[j] += 1;
+                } else if is_cached(b) {
+                    selected.insert(b);
+                    frontier[j] += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // D'Hondt: one read slot to the session with the highest
+        // quotient among those still wanting blocks; ties go to
+        // submission order.
+        let mut best: Option<(f64, usize)> = None;
+        for (j, s) in sessions.iter().enumerate() {
+            if frontier[j] >= s.plan.len() {
+                continue;
+            }
+            let quotient = shares[j] / (1 + slots[j]) as f64;
+            if best.is_none_or(|(q, _)| quotient > q) {
+                best = Some((quotient, j));
+            }
+        }
+        let Some((_, w)) = best else { break };
+        selected.insert(sessions[w].plan[frontier[w]]);
+        frontier[w] += 1;
+        slots[w] += 1;
+        charged += 1;
+    }
+    // One final free sweep: slots spent late in the loop may have
+    // unlocked shared or cached runs for other sessions.
+    let mut grew = true;
+    while grew {
+        grew = false;
+        for (j, s) in sessions.iter().enumerate() {
+            while frontier[j] < s.plan.len() {
+                let b = s.plan[frontier[j]];
+                if selected.contains(&b) || is_cached(b) {
+                    grew |= selected.insert(b);
+                    frontier[j] += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_wire_roundtrip_and_order() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::from_wire(t.to_wire()), Some(t));
+        }
+        assert_eq!(Tier::from_wire(9), None);
+        assert!(Tier::Normal < Tier::Coarse);
+        assert!(Tier::Widened < Tier::Shed);
+        assert_eq!(Tier::Shed.escalated(), Tier::Shed);
+        assert_eq!(Tier::Normal.relaxed(), Tier::Normal);
+    }
+
+    #[test]
+    fn controller_escalates_only_under_sustained_pressure() {
+        let cfg = QosConfig::default();
+        let mut c = DegradeController::new();
+        // One spike is absorbed.
+        assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        assert_eq!(c.observe(0.0, &cfg), TierChange::None);
+        assert_eq!(c.tier(), Tier::Normal);
+        // Sustained pressure walks up one tier per escalate_rounds.
+        assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        assert_eq!(c.observe(1.0, &cfg), TierChange::Escalated(Tier::Coarse));
+        assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        assert_eq!(c.observe(1.0, &cfg), TierChange::Escalated(Tier::Widened));
+        assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        assert_eq!(c.observe(1.0, &cfg), TierChange::Escalated(Tier::Shed));
+        // Saturates.
+        for _ in 0..8 {
+            assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        }
+        assert_eq!(c.tier(), Tier::Shed);
+    }
+
+    #[test]
+    fn controller_recovers_with_hysteresis() {
+        let cfg = QosConfig::default();
+        let mut c = DegradeController::new();
+        for _ in 0..6 {
+            c.observe(1.0, &cfg);
+        }
+        assert_eq!(c.tier(), Tier::Shed);
+        // Pressure in the hysteresis band (above exit, below enter):
+        // neither escalates nor recovers.
+        for _ in 0..20 {
+            assert_eq!(c.observe(0.8, &cfg), TierChange::None);
+        }
+        assert_eq!(c.tier(), Tier::Shed);
+        // Sustained low pressure walks back down one tier per
+        // recover_rounds — smooth, not a cliff.
+        let mut recoveries = Vec::new();
+        for _ in 0..20 {
+            if let TierChange::Recovered(t) = c.observe(0.0, &cfg) {
+                recoveries.push(t);
+            }
+        }
+        assert_eq!(recoveries, vec![Tier::Widened, Tier::Coarse, Tier::Normal]);
+        assert_eq!(c.tier(), Tier::Normal);
+    }
+
+    #[test]
+    fn shedding_disabled_pins_tier_normal() {
+        let cfg = QosConfig { shedding: false, ..QosConfig::default() };
+        let mut c = DegradeController::new();
+        for _ in 0..10 {
+            assert_eq!(c.observe(1.0, &cfg), TierChange::None);
+        }
+        assert_eq!(c.tier(), Tier::Normal);
+    }
+
+    #[test]
+    fn utility_selection_favors_weighted_sessions() {
+        // Session A wants blocks [0,1,2,3], B wants [10,11]; B carries
+        // far more weight, so both of B's blocks win the budget and A
+        // gets the remainder in block order.
+        let a_gain = [1.0, 1.0, 1.0, 1.0];
+        let b_gain = [1.0, 1.0];
+        let sessions = [
+            SessionLens { plan: &[0, 1, 2, 3], gain: &a_gain, weight: 1.0 },
+            SessionLens { plan: &[10, 11], gain: &b_gain, weight: 100.0 },
+        ];
+        let got = select_round_blocks(&sessions, 3, |_| false);
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![0, 10, 11]);
+    }
+
+    #[test]
+    fn shared_blocks_advance_every_sharer_for_one_read() {
+        // Sessions 0 and 1 share frontier block 5. When session 0's
+        // slot selects it, session 1's frontier rides through for free,
+        // so session 1's own slot buys its *next* block (7) — four
+        // slots serve five frontier advances. Session 0's second block
+        // (6, unshared) is what the round leaves behind.
+        let g = [1.0, 1.0];
+        let sessions = [
+            SessionLens { plan: &[5, 6], gain: &g, weight: 1.0 },
+            SessionLens { plan: &[5, 7], gain: &g, weight: 1.0 },
+            SessionLens { plan: &[2, 3], gain: &g, weight: 1.5 },
+        ];
+        let got = select_round_blocks(&sessions, 4, |_| false);
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn utility_selection_looks_ahead_past_cheap_frontiers() {
+        // Session A's bound mass sits behind two cheap blocks. Its
+        // share counts *all* remaining mass (9.2), not just the
+        // frontier gain (0.1), so A wins every slot over B's 2.0 — a
+        // frontier-only auction would score A at 0.1 and starve it.
+        let a = [0.1, 0.1, 9.0];
+        let b = [2.0];
+        let sessions = [
+            SessionLens { plan: &[0, 1, 9], gain: &a, weight: 1.0 },
+            SessionLens { plan: &[4], gain: &b, weight: 1.0 },
+        ];
+        let got = select_round_blocks(&sessions, 3, |_| false);
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![0, 1, 9]);
+    }
+
+    #[test]
+    fn utility_selection_is_budget_capped_and_complete_below_budget() {
+        let g = [1.0; 4];
+        let sessions = [
+            SessionLens { plan: &[1, 2, 3, 4], gain: &g, weight: 1.0 },
+            SessionLens { plan: &[3, 4, 5, 6], gain: &g, weight: 1.0 },
+        ];
+        assert_eq!(select_round_blocks(&sessions, 2, |_| false).len(), 2);
+        // Budget beyond the union: everything is selected.
+        let all = select_round_blocks(&sessions, 64, |_| false);
+        assert_eq!(all.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn cached_blocks_do_not_consume_budget() {
+        // Blocks 1 and 2 are resident in the shared cache, so a budget
+        // of 2 device reads still covers the whole 4-block plan.
+        let g = [1.0; 4];
+        let sessions = [SessionLens { plan: &[1, 2, 3, 4], gain: &g, weight: 1.0 }];
+        let got = select_round_blocks(&sessions, 2, |b| b <= 2);
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        // With nothing cached the same budget stops after two blocks.
+        let got = select_round_blocks(&sessions, 2, |_| false);
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

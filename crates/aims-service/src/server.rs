@@ -20,6 +20,7 @@ use aims_storage::device::BlockDevice;
 use aims_telemetry::global;
 
 use crate::error::ServiceError;
+use crate::qos::Tier;
 use crate::service::QueryService;
 use crate::session::{QuerySpec, Refinement, SessionHandle, Update};
 use crate::wire::{write_frame, Frame, ProgressKind, MAX_FRAME};
@@ -189,6 +190,7 @@ fn progress_frame(req_id: u64, kind: ProgressKind, r: Option<Refinement>) -> Fra
         total_coefficients: 0,
         estimate: 0.0,
         error_bound: f64::INFINITY,
+        tier: Tier::Normal,
     });
     Frame::Progress {
         req_id,
@@ -198,10 +200,17 @@ fn progress_frame(req_id: u64, kind: ProgressKind, r: Option<Refinement>) -> Fra
         total: r.total_coefficients as u64,
         estimate: r.estimate,
         bound: r.error_bound,
+        tier: r.tier,
     }
 }
 
 /// Pumps one session's updates into the connection writer.
+///
+/// The session channel itself is the buffer here, and the scheduler caps
+/// it: a stalled TCP peer leaves updates undelivered, the session's
+/// outbox fills, and the scheduler drops further intermediate
+/// refinements (`service.backpressure.dropped_progress`) rather than
+/// buffering without bound. Terminal frames are never dropped.
 fn forward_session(req_id: u64, handle: SessionHandle, writer: Arc<Mutex<TcpStream>>) {
     loop {
         let frame = match handle.next() {
@@ -210,6 +219,7 @@ fn forward_session(req_id: u64, handle: SessionHandle, writer: Arc<Mutex<TcpStre
             Some(Update::DeadlineExpired(r)) => {
                 progress_frame(req_id, ProgressKind::DeadlineExpired, Some(r))
             }
+            Some(Update::Shed(r)) => progress_frame(req_id, ProgressKind::Shed, Some(r)),
             Some(Update::Cancelled) => progress_frame(req_id, ProgressKind::Cancelled, None),
             Some(Update::Profile(p)) => Frame::Profile { req_id, profile: *p },
             // Channel closed without a terminal update (service

@@ -1,13 +1,14 @@
 //! Session-side types: query specs, refinement updates, and the handle a
 //! caller polls while the scheduler refines their answer.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::admission::Priority;
 use crate::profile::QueryProfile;
+use crate::qos::Tier;
 
 /// A range-sum (COUNT-weighted) query plus its scheduling class and
 /// optional deadline.
@@ -64,6 +65,9 @@ pub struct Refinement {
     /// Guaranteed bound on `|estimate − exact|` (Cauchy–Schwarz over the
     /// unseen suffix, plus a lost-block term if storage degraded).
     pub error_bound: f64,
+    /// Degradation tier the session ran at when this update was produced
+    /// ([`Tier::Normal`] whenever the service is unloaded).
+    pub tier: Tier,
 }
 
 impl Refinement {
@@ -86,6 +90,9 @@ pub enum Update {
     Done(Refinement),
     /// The deadline passed; this is the best estimate at expiry.
     DeadlineExpired(Refinement),
+    /// Overload shed the session: this is its best-so-far answer (finite
+    /// estimate and bound), not an error. Terminal.
+    Shed(Refinement),
     /// The session was cancelled before completion.
     Cancelled,
     /// Cost attribution for a traced query; arrives immediately before
@@ -101,6 +108,8 @@ pub enum Outcome {
     Done(Refinement),
     /// Deadline hit first; carries the best estimate at expiry.
     DeadlineExpired(Refinement),
+    /// Shed under overload; carries the best-so-far answer.
+    Shed(Refinement),
     /// Cancelled mid-flight.
     Cancelled,
     /// The service dropped the session without a terminal update
@@ -122,14 +131,20 @@ pub enum Polled {
 /// The caller's side of a submitted query.
 ///
 /// Updates arrive on an unbounded channel so a slow consumer never stalls
-/// the scheduler. Dropping the handle implicitly cancels the query: the
-/// scheduler notices the closed channel-or-cancel flag and stops fetching
-/// blocks on its behalf.
+/// the scheduler — but the scheduler caps the number of *undelivered*
+/// progress updates per session (`ServiceConfig::progress_outbox`),
+/// dropping intermediate refinements for consumers that fall behind
+/// (terminal updates and profiles are never dropped). Dropping the handle
+/// implicitly cancels the query: the scheduler notices the closed
+/// channel-or-cancel flag and stops fetching blocks on its behalf.
 #[derive(Debug)]
 pub struct SessionHandle {
     pub(crate) id: u64,
     pub(crate) rx: Receiver<Update>,
     pub(crate) cancel: Arc<AtomicBool>,
+    /// Progress updates sent but not yet received; shared with the
+    /// scheduler's emit path, which stops sending at the outbox cap.
+    pub(crate) pending: Arc<AtomicUsize>,
 }
 
 impl SessionHandle {
@@ -152,15 +167,29 @@ impl SessionHandle {
     /// Blocks for the next update; `None` once the service closed the
     /// channel (after a terminal update, or on shutdown).
     pub fn next(&self) -> Option<Update> {
-        self.rx.recv().ok()
+        let u = self.rx.recv().ok();
+        if let Some(u) = &u {
+            self.consumed(u);
+        }
+        u
     }
 
     /// Like [`SessionHandle::next`] with a timeout.
     pub fn next_timeout(&self, timeout: Duration) -> Polled {
         match self.rx.recv_timeout(timeout) {
-            Ok(u) => Polled::Update(u),
+            Ok(u) => {
+                self.consumed(&u);
+                Polled::Update(u)
+            }
             Err(RecvTimeoutError::Disconnected) => Polled::Closed,
             Err(RecvTimeoutError::Timeout) => Polled::TimedOut,
+        }
+    }
+
+    /// Releases one outbox slot back to the scheduler's emit path.
+    fn consumed(&self, u: &Update) {
+        if matches!(u, Update::Progress(_)) {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -179,7 +208,10 @@ impl SessionHandle {
         let mut profile = None;
         loop {
             match self.rx.recv() {
-                Ok(Update::Progress(r)) => trace.push(r),
+                Ok(Update::Progress(r)) => {
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    trace.push(r);
+                }
                 Ok(Update::Profile(p)) => profile = Some(*p),
                 Ok(Update::Done(r)) => {
                     trace.push(r);
@@ -188,6 +220,7 @@ impl SessionHandle {
                 Ok(Update::DeadlineExpired(r)) => {
                     return (trace, Outcome::DeadlineExpired(r), profile);
                 }
+                Ok(Update::Shed(r)) => return (trace, Outcome::Shed(r), profile),
                 Ok(Update::Cancelled) => return (trace, Outcome::Cancelled, profile),
                 Err(_) => return (trace, Outcome::Disconnected, profile),
             }
@@ -212,13 +245,23 @@ mod tests {
             total_coefficients: total,
             estimate: 1.5,
             error_bound: 0.25,
+            tier: Tier::Normal,
+        }
+    }
+
+    fn handle(id: u64, rx: Receiver<Update>) -> SessionHandle {
+        SessionHandle {
+            id,
+            rx,
+            cancel: Arc::new(AtomicBool::new(false)),
+            pending: Arc::new(AtomicUsize::new(usize::MAX / 2)),
         }
     }
 
     #[test]
     fn collect_gathers_trace_and_outcome() {
         let (tx, rx) = mpsc::channel();
-        let handle = SessionHandle { id: 7, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        let handle = handle(7, rx);
         tx.send(Update::Progress(refinement(1, 3))).unwrap();
         tx.send(Update::Progress(refinement(2, 3))).unwrap();
         tx.send(Update::Done(refinement(3, 3))).unwrap();
@@ -231,7 +274,7 @@ mod tests {
     #[test]
     fn dropped_sender_is_disconnected() {
         let (tx, rx) = mpsc::channel::<Update>();
-        let handle = SessionHandle { id: 1, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        let handle = handle(1, rx);
         drop(tx);
         assert!(matches!(handle.wait(), Outcome::Disconnected));
     }
@@ -245,7 +288,7 @@ mod tests {
     #[test]
     fn next_timeout_distinguishes_update_timeout_and_close() {
         let (tx, rx) = mpsc::channel();
-        let handle = SessionHandle { id: 3, rx, cancel: Arc::new(AtomicBool::new(false)) };
+        let handle = handle(3, rx);
         assert!(matches!(handle.next_timeout(Duration::from_millis(1)), Polled::TimedOut));
         tx.send(Update::Cancelled).unwrap();
         assert!(matches!(
@@ -257,10 +300,53 @@ mod tests {
     }
 
     #[test]
+    fn progress_consumption_releases_outbox_slots() {
+        let (tx, rx) = mpsc::channel();
+        let pending = Arc::new(AtomicUsize::new(2));
+        let handle = SessionHandle {
+            id: 4,
+            rx,
+            cancel: Arc::new(AtomicBool::new(false)),
+            pending: Arc::clone(&pending),
+        };
+        tx.send(Update::Progress(refinement(1, 3))).unwrap();
+        tx.send(Update::Shed(refinement(2, 3))).unwrap();
+        assert!(matches!(handle.next(), Some(Update::Progress(_))));
+        assert_eq!(pending.load(Ordering::SeqCst), 1);
+        // Terminal updates never occupy outbox slots.
+        assert!(matches!(handle.next(), Some(Update::Shed(_))));
+        assert_eq!(pending.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shed_collects_as_best_so_far_outcome() {
+        let (tx, rx) = mpsc::channel();
+        let handle = handle(9, rx);
+        tx.send(Update::Progress(refinement(1, 4))).unwrap();
+        tx.send(Update::Shed(refinement(2, 4))).unwrap();
+        drop(tx);
+        let (trace, outcome) = handle.collect();
+        assert_eq!(trace.len(), 1);
+        match outcome {
+            Outcome::Shed(r) => {
+                assert!(r.estimate.is_finite());
+                assert!(r.error_bound.is_finite());
+                assert_eq!(r.coefficients_used, 2);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn cancel_flag_is_shared() {
         let (_tx, rx) = mpsc::channel::<Update>();
         let cancel = Arc::new(AtomicBool::new(false));
-        let handle = SessionHandle { id: 2, rx, cancel: Arc::clone(&cancel) };
+        let handle = SessionHandle {
+            id: 2,
+            rx,
+            cancel: Arc::clone(&cancel),
+            pending: Arc::new(AtomicUsize::new(0)),
+        };
         assert!(!handle.is_cancelled());
         handle.cancel();
         assert!(cancel.load(Ordering::SeqCst));

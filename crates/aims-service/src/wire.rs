@@ -10,14 +10,15 @@
 //! | `0x02` | c → s | CANCEL  `req_id:u64` |
 //! | `0x03` | c → s | METRICS_REQ |
 //! | `0x04` | c → s | SHUTDOWN |
-//! | `0x81` | s → c | PROGRESS `req_id:u64, kind:u8, round:u32, used:u64, total:u64, estimate:f64, bound:f64` |
+//! | `0x81` | s → c | PROGRESS `req_id:u64, kind:u8, round:u32, used:u64, total:u64, estimate:f64, bound:f64[, tier:u8]` |
 //! | `0x82` | s → c | REJECT  `req_id:u64, code:u8, detail:u32, message:utf8` |
 //! | `0x83` | s → c | METRICS_REPLY `utf8 JSON lines` |
 //! | `0x84` | s → c | GOODBYE |
 //! | `0x85` | s → c | PROFILE `req_id:u64, trace_id:u64, queue_wait_ns:u64, latency_ns:u64, rounds:u32, blocks_read:u64, blocks_shared:u64, cache_hits:u64, cache_misses:u64, retries:u64, degraded:u64, npoints:u16, (round:u32, used:u64, bound:f64)×npoints` |
 //!
 //! PROGRESS `kind`: 0 = progress, 1 = done, 2 = deadline expired,
-//! 3 = cancelled. REJECT `code` is [`ServiceError::code`].
+//! 3 = cancelled, 4 = shed (terminal best-so-far answer under
+//! overload). REJECT `code` is [`ServiceError::code`].
 //!
 //! Version 2 adds the optional trailing SUBMIT `flags` byte (bit 0 =
 //! request tracing; other bits must be zero) and the PROFILE frame a
@@ -25,17 +26,25 @@
 //! stay compatible with v1 peers: an untraced SUBMIT encodes
 //! byte-identically to v1 (no flags byte), and a v1 SUBMIT without the
 //! byte decodes with tracing off.
+//!
+//! Version 3 (adaptive QoS) adds the `shed` PROGRESS kind and the
+//! optional trailing PROGRESS `tier` byte carrying the session's
+//! degradation tier ([`Tier::to_wire`]). The same compatibility trick
+//! as the SUBMIT flags byte applies: an undegraded update (tier 0)
+//! encodes byte-identically to v2, and a v2 PROGRESS without the byte
+//! decodes as tier 0.
 
 use std::io::{Read, Write};
 
 use crate::admission::Priority;
 use crate::error::ServiceError;
 use crate::profile::{QueryProfile, TrajectoryPoint};
+use crate::qos::Tier;
 
-/// Protocol generation implemented by this module. Version 2 added the
-/// SUBMIT trace flag and the PROFILE frame, both backward-compatible
-/// with version 1 peers.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Protocol generation implemented by this module. Version 3 added the
+/// shed PROGRESS kind and the PROGRESS degradation-tier byte, both
+/// backward-compatible with version 2 peers.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// SUBMIT flags bit: request end-to-end tracing for this query.
 const SUBMIT_FLAG_TRACE: u8 = 0x01;
@@ -55,6 +64,8 @@ pub enum ProgressKind {
     DeadlineExpired,
     /// Cancelled mid-flight.
     Cancelled,
+    /// Shed under overload; best-so-far answer (v3).
+    Shed,
 }
 
 impl ProgressKind {
@@ -65,6 +76,7 @@ impl ProgressKind {
             ProgressKind::Done => 1,
             ProgressKind::DeadlineExpired => 2,
             ProgressKind::Cancelled => 3,
+            ProgressKind::Shed => 4,
         }
     }
 
@@ -75,6 +87,7 @@ impl ProgressKind {
             1 => Some(ProgressKind::Done),
             2 => Some(ProgressKind::DeadlineExpired),
             3 => Some(ProgressKind::Cancelled),
+            4 => Some(ProgressKind::Shed),
             _ => None,
         }
     }
@@ -127,6 +140,9 @@ pub enum Frame {
         estimate: f64,
         /// Guaranteed error bound.
         bound: f64,
+        /// Degradation tier of the session (v3 optional trailing byte).
+        /// [`Tier::Normal`] encodes byte-identically to a v2 PROGRESS.
+        tier: Tier,
     },
     /// Server refuses a SUBMIT.
     Reject {
@@ -258,7 +274,7 @@ impl Frame {
             }
             Frame::MetricsRequest => b.push(0x03),
             Frame::Shutdown => b.push(0x04),
-            Frame::Progress { req_id, kind, round, used, total, estimate, bound } => {
+            Frame::Progress { req_id, kind, round, used, total, estimate, bound, tier } => {
                 b.push(0x81);
                 put_u64(&mut b, *req_id);
                 b.push(kind.to_wire());
@@ -267,6 +283,11 @@ impl Frame {
                 put_u64(&mut b, *total);
                 put_f64(&mut b, *estimate);
                 put_f64(&mut b, *bound);
+                // Trailing tier byte only when degraded, so an
+                // undegraded PROGRESS stays byte-identical to v2.
+                if *tier != Tier::Normal {
+                    b.push(tier.to_wire());
+                }
             }
             Frame::Reject { req_id, code, detail, message } => {
                 b.push(0x82);
@@ -340,15 +361,19 @@ impl Frame {
                 let req_id = b.u64()?;
                 let kind = ProgressKind::from_wire(b.u8()?)
                     .ok_or_else(|| ServiceError::Protocol("bad progress kind".into()))?;
-                Frame::Progress {
-                    req_id,
-                    kind,
-                    round: b.u32()?,
-                    used: b.u64()?,
-                    total: b.u64()?,
-                    estimate: b.f64()?,
-                    bound: b.f64()?,
-                }
+                let round = b.u32()?;
+                let used = b.u64()?;
+                let total = b.u64()?;
+                let estimate = b.f64()?;
+                let bound = b.f64()?;
+                // v3 optional trailing tier byte; absent on v2 frames.
+                let tier = if b.remaining() > 0 {
+                    Tier::from_wire(b.u8()?)
+                        .ok_or_else(|| ServiceError::Protocol("bad progress tier".into()))?
+                } else {
+                    Tier::Normal
+                };
+                Frame::Progress { req_id, kind, round, used, total, estimate, bound, tier }
             }
             0x82 => {
                 let req_id = b.u64()?;
@@ -442,15 +467,23 @@ mod tests {
         roundtrip(Frame::Cancel { req_id: 9 });
         roundtrip(Frame::MetricsRequest);
         roundtrip(Frame::Shutdown);
-        roundtrip(Frame::Progress {
-            req_id: 7,
-            kind: ProgressKind::Done,
-            round: 3,
-            used: 120,
-            total: 120,
-            estimate: -1234.567891011,
-            bound: 0.0,
-        });
+        for (kind, tier) in [
+            (ProgressKind::Done, Tier::Normal),
+            (ProgressKind::Progress, Tier::Coarse),
+            (ProgressKind::Done, Tier::Widened),
+            (ProgressKind::Shed, Tier::Shed),
+        ] {
+            roundtrip(Frame::Progress {
+                req_id: 7,
+                kind,
+                round: 3,
+                used: 120,
+                total: 120,
+                estimate: -1234.567891011,
+                bound: 0.0,
+                tier,
+            });
+        }
         roundtrip(Frame::Reject { req_id: 8, code: 1, detail: 64, message: "queue full".into() });
         roundtrip(Frame::MetricsReply { json: "{\"kind\":\"counter\"}".into() });
         roundtrip(Frame::Goodbye);
@@ -522,6 +555,7 @@ mod tests {
                 total: 2,
                 estimate: v,
                 bound: v,
+                tier: Tier::Normal,
             };
             let mut buf = Vec::new();
             write_frame(&mut buf, &f).unwrap();
@@ -557,10 +591,57 @@ mod tests {
             total: 0,
             estimate: 0.0,
             bound: 0.0,
+            tier: Tier::Normal,
         }
         .encode_body();
         body[9] = 99;
         assert!(matches!(Frame::decode_body(&body), Err(ServiceError::Protocol(_))));
+        // Bad trailing tier byte.
+        body[9] = 0;
+        body.push(200);
+        assert!(matches!(Frame::decode_body(&body), Err(ServiceError::Protocol(_))));
+    }
+
+    #[test]
+    fn undegraded_progress_is_byte_identical_to_v2() {
+        // A tier-0 PROGRESS must not grow the body: v2 clients (which
+        // reject trailing bytes) keep accepting it.
+        let normal = Frame::Progress {
+            req_id: 5,
+            kind: ProgressKind::Progress,
+            round: 2,
+            used: 10,
+            total: 40,
+            estimate: 1.25,
+            bound: 0.5,
+            tier: Tier::Normal,
+        }
+        .encode_body();
+        let v2_len = 1 + 8 + 1 + 4 + 8 + 8 + 8 + 8;
+        assert_eq!(normal.len(), v2_len);
+        // And a v2 PROGRESS (no tier byte) decodes as tier 0.
+        match Frame::decode_body(&normal).unwrap() {
+            Frame::Progress { tier, .. } => assert_eq!(tier, Tier::Normal),
+            other => panic!("wrong frame {other:?}"),
+        }
+        // A degraded PROGRESS appends exactly one tier byte.
+        let degraded = Frame::Progress {
+            req_id: 5,
+            kind: ProgressKind::Progress,
+            round: 2,
+            used: 10,
+            total: 40,
+            estimate: 1.25,
+            bound: 0.5,
+            tier: Tier::Widened,
+        }
+        .encode_body();
+        assert_eq!(degraded.len(), v2_len + 1);
+        assert_eq!(&degraded[..v2_len], &normal[..]);
+        match Frame::decode_body(&degraded).unwrap() {
+            Frame::Progress { tier, .. } => assert_eq!(tier, Tier::Widened),
+            other => panic!("wrong frame {other:?}"),
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!   (and whatever `AIMS_THREADS` the suite runs under).
 //! - Cancellation never deadlocks — every handle resolves under a
 //!   watchdog timeout no matter when the cancel lands.
-//! - Overload is always a typed rejection, never a panic or hang.
+//! - Overload degrades gracefully: admitted queries end in `Done` or a
+//!   best-so-far `Shed`, the rest get typed rejections — never a panic
+//!   or hang.
 //! - The same holds across the TCP wire path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -210,7 +212,16 @@ fn overload_floods_get_typed_rejections_never_hangs() {
                     match svc.submit(QuerySpec::batch(vec![(lo, 31), (0, 31)])) {
                         Ok(h) => {
                             accepted.fetch_add(1, Ordering::SeqCst);
-                            assert!(matches!(h.wait(), Outcome::Done(_)));
+                            // Under sustained overload an admitted query
+                            // may be shed — a best-so-far answer with a
+                            // finite bound, never a silent loss.
+                            match h.wait() {
+                                Outcome::Done(r) | Outcome::Shed(r) => {
+                                    assert!(r.estimate.is_finite());
+                                    assert!(r.error_bound.is_finite());
+                                }
+                                other => panic!("admitted query lost under flood: {other:?}"),
+                            }
                         }
                         Err(ServiceError::QueueFull { capacity }) => {
                             assert_eq!(capacity, 4);

@@ -158,6 +158,16 @@ impl SharedBlockCache {
         hit
     }
 
+    /// Whether a block is currently resident, without counting a
+    /// hit/miss or refreshing its LRU position. A pure probe for
+    /// schedulers that plan around residence (e.g. charging a round
+    /// budget only for blocks that would cost a device read) — using
+    /// [`SharedBlockCache::lookup`] for that would distort both the
+    /// hit-ratio statistics and the eviction order.
+    pub fn contains(&self, id: usize) -> bool {
+        self.shard_of(id).lock().unwrap().entries.contains_key(&id)
+    }
+
     /// Inserts an already-verified payload (e.g. one a buffer pool just
     /// read). Cheap no-op path for payloads already cached.
     pub fn insert(&self, id: usize, data: Arc<Vec<f64>>) {

@@ -244,6 +244,13 @@ impl<D: BlockDevice> WaveletStore<D> {
         self.block_energy[block]
     }
 
+    /// The whole block-energy catalog, indexed by block id — the
+    /// per-block `Σ c²` table the adaptive QoS scheduler ranks round
+    /// budgets with (no device I/O: catalog metadata only).
+    pub fn block_energies(&self) -> &[f64] {
+        &self.block_energy
+    }
+
     /// Device I/O counters.
     pub fn device_stats(&self) -> DeviceStats {
         self.device.stats()

@@ -95,6 +95,15 @@ fn main() {
                     );
                     break;
                 }
+                Some(Update::Shed(r)) => {
+                    println!(
+                        "  shed under overload at {:.1}%: best answer {:.2} +/- {:.2}",
+                        100.0 * r.progress(),
+                        r.estimate,
+                        r.error_bound
+                    );
+                    break;
+                }
                 Some(Update::Profile(p)) => {
                     println!(
                         "  profile: {} blocks read, {} shared, hit ratio {:.2}",

@@ -21,6 +21,7 @@
 //! aims-cli trace     --connect 127.0.0.1:PORT --ranges 0:31,0:31
 //! aims-cli top       --connect 127.0.0.1:PORT [--interval-ms 1000] [--iterations 0] \
 //!                    [--format table|json]
+//! aims-cli chaos     [--seed 4242] [--format table|json]
 //! aims-cli kernels   [--side 256]
 //! aims-cli durability [--mode always|periodic:K|none] [--seed 52417] [--blocks 32] \
 //!                    [--block-size 16] [--writes 96] [--dir DIR] [--format table|json]
@@ -48,7 +49,11 @@
 //! or remotely via `--connect` (the profile comes back over the wire);
 //! `top` polls a running server's METRICS_REQ and renders the telemetry
 //! snapshot as a live table (the reply is structured JSON; rendering is
-//! client-side); `kernels` prints the wavelet kernel dispatch table and
+//! client-side), including each live session's degradation tier;
+//! `chaos` runs the composed seeded chaos drill (storage faults ×
+//! sensor faults × query-flood overload) locally and exits non-zero if
+//! any drill invariant is violated; `kernels` prints the wavelet kernel
+//! dispatch table and
 //! the execution layer's autotuned tile/threshold, then times one serial
 //! 2-D transform per filter on this host; `durability` runs a local crash
 //! drill — a seeded write workload against a temp-dir (or `--dir`)
@@ -70,8 +75,8 @@ use aims::{AimsConfig, AimsSystem};
 fn usage() -> ! {
     eprintln!(
         "usage: aims-cli \
-<generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top|kernels\
-|durability> [--key value]...\n\
+<generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top|chaos\
+|kernels|durability> [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
          ingest    --input <file> [--strategy adaptive|fixed|modified-fixed|grouped]\n\
@@ -92,6 +97,7 @@ fn usage() -> ! {
          trace     --connect <host:port> --ranges <lo:hi,lo:hi>\n\
          top       --connect <host:port> [--interval-ms <n>] [--iterations <n>] \
 [--format table|json]\n\
+         chaos     [--seed <n>] [--format table|json]\n\
          kernels   [--side <n>]\n\
          durability [--mode always|periodic:K|none] [--seed <n>] [--blocks <n>]\n\
                    [--block-size <n>] [--writes <n>] [--dir <path>] [--format table|json]"
@@ -273,7 +279,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
 /// Drives one progressive range sum against a running server and prints
 /// the refinement trace.
 fn cmd_query_remote(flags: &HashMap<String, String>, connect: &str) {
-    use aims::service::{ProgressKind, QuerySpec, TcpClient};
+    use aims::service::{ProgressKind, QuerySpec, TcpClient, Tier};
 
     let ranges_text = required(flags, "ranges");
     let ranges = parse_ranges(&ranges_text);
@@ -300,8 +306,10 @@ fn cmd_query_remote(flags: &HashMap<String, String>, connect: &str) {
         exit(1);
     });
     for r in &out.trace {
+        let tier =
+            if r.tier == Tier::Normal { String::new() } else { format!(" [{}]", r.tier.label()) };
         println!(
-            "  round {:>3}: {:>6}/{:<6} coefficients, estimate {:.4} (bound {:.4})",
+            "  round {:>3}: {:>6}/{:<6} coefficients, estimate {:.4} (bound {:.4}){tier}",
             r.round, r.coefficients_used, r.total_coefficients, r.estimate, r.error_bound
         );
     }
@@ -312,6 +320,12 @@ fn cmd_query_remote(flags: &HashMap<String, String>, connect: &str) {
         (ProgressKind::DeadlineExpired, Some(r)) => {
             println!(
                 "deadline expired: {} = {:.4} +/- {:.4}",
+                ranges_text, r.estimate, r.error_bound
+            );
+        }
+        (ProgressKind::Shed, Some(r)) => {
+            println!(
+                "shed under load: {} = {:.4} +/- {:.4} (best-so-far)",
                 ranges_text, r.estimate, r.error_bound
             );
         }
@@ -825,6 +839,12 @@ fn cmd_trace(flags: &HashMap<String, String>) {
             (ProgressKind::DeadlineExpired, Some(r)) => {
                 println!("deadline expired: estimate {:.4} +/- {:.4}", r.estimate, r.error_bound);
             }
+            (ProgressKind::Shed, Some(r)) => {
+                println!(
+                    "shed under load: estimate {:.4} +/- {:.4} (best-so-far)",
+                    r.estimate, r.error_bound
+                );
+            }
             (kind, _) => {
                 eprintln!("trace: query ended without an answer: {kind:?}");
                 exit(1);
@@ -931,8 +951,17 @@ fn print_session_rows(json_lines: &str) {
         return;
     }
     println!(
-        "{:>6} {:<7} {:<12} {:<7} {:>6} {:>10} {:>12} {:>9} {:>8}",
-        "id", "state", "priority", "traced", "rounds", "used/total", "bound", "wait ms", "age ms"
+        "{:>6} {:<7} {:<12} {:<8} {:<7} {:>6} {:>10} {:>12} {:>9} {:>8}",
+        "id",
+        "state",
+        "priority",
+        "tier",
+        "traced",
+        "rounds",
+        "used/total",
+        "bound",
+        "wait ms",
+        "age ms"
     );
     for s in &sessions {
         let num = |k: &str| s.num(k).unwrap_or(0.0);
@@ -941,10 +970,11 @@ fn print_session_rows(json_lines: &str) {
             None => "inf".to_string(),
         };
         println!(
-            "{:>6} {:<7} {:<12} {:<7} {:>6} {:>10} {:>12} {:>9.3} {:>8}",
+            "{:>6} {:<7} {:<12} {:<8} {:<7} {:>6} {:>10} {:>12} {:>9.3} {:>8}",
             num("id") as u64,
             s.str("state").unwrap_or("?"),
             s.str("priority").unwrap_or("?"),
+            s.str("tier").unwrap_or("?"),
             match s.get("traced") {
                 Some(json::JsonValue::Bool(true)) => "yes",
                 Some(json::JsonValue::Bool(false)) => "no",
@@ -1050,6 +1080,77 @@ fn cmd_kernels(flags: &HashMap<String, String>) {
         "\nscratch reuse (dsp.kernel.scratch_reuse): {}",
         delta.counter("dsp.kernel.scratch_reuse")
     );
+}
+
+/// Runs the composed chaos drill locally: the six-phase schedule
+/// (baseline → overload → storage faults → sensor faults → all three →
+/// drain) with every injector derived from one master seed
+/// (`--seed`, or `AIMS_CHAOS_SEED`). Prints the per-phase table and
+/// exits non-zero if any drill invariant was violated — no panics, no
+/// lost admitted queries, shed sessions get best-so-far answers, and
+/// the drain returns the service to zero degradation.
+fn cmd_chaos(flags: &HashMap<String, String>) {
+    use aims::chaos::{run_drill, ChaosConfig};
+
+    let env_seed =
+        std::env::var("AIMS_CHAOS_SEED").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(4242);
+    let seed: u64 = flag(flags, "seed", env_seed);
+    let format: String = flag(flags, "format", "table".into());
+    if format != "table" && format != "json" {
+        eprintln!("unknown format '{format}' (table|json)");
+        usage();
+    }
+
+    let report = run_drill(&ChaosConfig { seed, ..ChaosConfig::default() });
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        println!("composed chaos drill (seed {}):", report.seed);
+        println!(
+            "{:>16} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>6} {:>9} {:>9}",
+            "phase",
+            "submit",
+            "accept",
+            "reject",
+            "done",
+            "shed",
+            "expire",
+            "degr",
+            "p99 ms",
+            "wall ms"
+        );
+        for p in &report.phases {
+            println!(
+                "{:>16} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>6} {:>9.2} {:>9.0}",
+                p.name,
+                p.submitted,
+                p.accepted,
+                p.rejected,
+                p.done,
+                p.shed,
+                p.expired,
+                p.degraded,
+                p.p99_ms,
+                p.elapsed_ms
+            );
+        }
+        println!(
+            "recovery {:.1} ms | shed fraction {:.3} | p99 overload {:.2} ms",
+            report.recovery_ms, report.shed_fraction, report.p99_overload_ms
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        if format == "table" {
+            println!("all drill invariants held");
+        }
+    } else {
+        eprintln!("chaos: {} invariant violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        exit(1);
+    }
 }
 
 /// Runs a local crash drill against a temp-dir (or `--dir`) durable
@@ -1215,6 +1316,7 @@ fn main() {
         "ingest-faults" => cmd_ingest_faults(&flags),
         "trace" => cmd_trace(&flags),
         "top" => cmd_top(&flags),
+        "chaos" => cmd_chaos(&flags),
         "kernels" => cmd_kernels(&flags),
         "durability" => cmd_durability(&flags),
         _ => usage(),

@@ -1,0 +1,66 @@
+//! The composed chaos drill as a CI gate: every seeded fault injector
+//! in the system — storage faults, sensor-wire faults, and query-flood
+//! overload — run together under one master seed (override with
+//! `AIMS_CHAOS_SEED`), asserting the end-to-end robustness invariants:
+//! no panics, no lost admitted queries, monotone finite bounds,
+//! best-so-far answers on shed, and full recovery after the drain.
+//!
+//! CI runs this twice under pinned seeds (see `ci.sh`); locally any
+//! seed should pass — if one doesn't, that seed is a reproducer worth
+//! keeping.
+
+use aims::chaos::{run_drill, ChaosConfig};
+
+fn drill_seed() -> u64 {
+    std::env::var("AIMS_CHAOS_SEED").ok().and_then(|s| s.trim().parse().ok()).unwrap_or(4242)
+}
+
+#[test]
+fn composed_chaos_drill_holds_every_invariant() {
+    let cfg = ChaosConfig { seed: drill_seed(), ..ChaosConfig::default() };
+    let report = run_drill(&cfg);
+
+    // Print the phase table up front: on failure this is the post-mortem.
+    eprintln!(
+        "{:>14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "phase", "submit", "accept", "reject", "done", "shed", "expire", "degr", "p99 ms"
+    );
+    for p in &report.phases {
+        eprintln!(
+            "{:>14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9.2}",
+            p.name,
+            p.submitted,
+            p.accepted,
+            p.rejected,
+            p.done,
+            p.shed,
+            p.expired,
+            p.degraded,
+            p.p99_ms
+        );
+    }
+    eprintln!(
+        "seed {} | recovery {:.1} ms | shed fraction {:.3} | p99 overload {:.2} ms",
+        report.seed, report.recovery_ms, report.shed_fraction, report.p99_overload_ms
+    );
+
+    let violations = report.violations();
+    assert!(
+        report.passed(),
+        "chaos drill (seed {}) violated {} invariant(s):\n  {}",
+        report.seed,
+        violations.len(),
+        violations.join("\n  ")
+    );
+
+    // The drill must actually exercise the machinery it claims to:
+    // floods shed something, faults degrade something, and the drill
+    // ends fully recovered.
+    assert!(report.shed_fraction > 0.0, "flood phases never shed — drill too gentle");
+    let storage = report.phases.iter().find(|p| p.name == "storage-faults").unwrap();
+    assert!(
+        storage.done == storage.accepted,
+        "storage faults must degrade bounds, not lose queries"
+    );
+    assert!(report.recovery_ms >= 0.0);
+}
