@@ -122,6 +122,19 @@ EOF
         exit 1
     }
 
+    echo "== tier drill (AIMS_THREADS=1, serial transform pool) =="
+    AIMS_THREADS=1 target/release/aims-cli tiers --samples 200000
+
+    echo "== tier drill (AIMS_THREADS=4, pooled transform pool) =="
+    AIMS_THREADS=4 target/release/aims-cli tiers --samples 200000
+
+    echo "== bench_tier (E32 tiered ingest: rate + oracle bit-identity gate) =="
+    cargo run --release -q -p aims-bench --bin experiments -- e32
+    test -f target/bench_tier.json || {
+        echo "E32 did not record target/bench_tier.json" >&2
+        exit 1
+    }
+
     echo "== perf trajectory gate (trend vs BENCH_TRAJECTORY.json) =="
     cargo run --release -q -p aims-bench --bin trend -- check
 

@@ -119,6 +119,26 @@ impl DoubleBufferRecorder {
         source: &MultiStream,
         policy: QueuePolicy,
     ) -> (MultiStream, Vec<usize>, RecordingStats) {
+        self.record_with_sink(source, policy, |_, _| {})
+    }
+
+    /// Like [`Self::record_with`], but the storage thread also hands each
+    /// stored frame `(source index, frame)` to `sink` **as it drains** —
+    /// a downstream segment writer sees data while recording is still in
+    /// progress instead of only at join time. The trailing partial batch
+    /// is delivered before this returns: the consumer previously only
+    /// materialized its drain into the returned stream, so anything a
+    /// caller wired downstream missed whatever sat below one batch
+    /// boundary; routing every frame through the sink closes that gap.
+    pub fn record_with_sink<F>(
+        &self,
+        source: &MultiStream,
+        policy: QueuePolicy,
+        sink: F,
+    ) -> (MultiStream, Vec<usize>, RecordingStats)
+    where
+        F: FnMut(usize, &[f64]) + Send,
+    {
         let _span = span!("acquisition.recorder.record");
         let queue: SharedQueue =
             Arc::new(Mutex::new(VecDeque::with_capacity(self.config.buffer_frames)));
@@ -128,64 +148,71 @@ impl DoubleBufferRecorder {
         let latency = self.config.store_latency_us;
         let capacity = self.config.buffer_frames.max(1);
 
-        let consumer = {
-            let queue = Arc::clone(&queue);
-            let done = Arc::clone(&done);
-            thread::spawn(move || {
-                let mut stored = MultiStream::new(spec);
-                let mut indices = Vec::new();
-                let mut batches = 0usize;
-                let mut batch = 0usize;
-                loop {
-                    let next = queue.lock().unwrap().pop_front();
-                    match next {
-                        Some((idx, frame)) => {
-                            stored.push(&frame);
-                            indices.push(idx);
-                            batch += 1;
-                            if batch >= batch_size {
-                                batches += 1;
-                                batch = 0;
-                                if latency > 0 {
-                                    thread::sleep(std::time::Duration::from_micros(latency));
+        let (stored, indices, batches, dropped) = thread::scope(|scope| {
+            let consumer = {
+                let queue = Arc::clone(&queue);
+                let done = Arc::clone(&done);
+                let mut sink = sink;
+                scope.spawn(move || {
+                    let mut stored = MultiStream::new(spec);
+                    let mut indices = Vec::new();
+                    let mut batches = 0usize;
+                    let mut batch = 0usize;
+                    loop {
+                        let next = queue.lock().unwrap().pop_front();
+                        match next {
+                            Some((idx, frame)) => {
+                                stored.push(&frame);
+                                sink(idx, &frame);
+                                indices.push(idx);
+                                batch += 1;
+                                if batch >= batch_size {
+                                    batches += 1;
+                                    batch = 0;
+                                    if latency > 0 {
+                                        thread::sleep(std::time::Duration::from_micros(latency));
+                                    }
                                 }
                             }
-                        }
-                        None => {
-                            if done.load(Ordering::Acquire) && queue.lock().unwrap().is_empty() {
-                                break;
+                            None => {
+                                if done.load(Ordering::Acquire) && queue.lock().unwrap().is_empty()
+                                {
+                                    break;
+                                }
+                                thread::yield_now();
                             }
-                            thread::yield_now();
+                        }
+                    }
+                    if batch > 0 {
+                        batches += 1;
+                    }
+                    (stored, indices, batches)
+                })
+            };
+
+            let mut dropped = 0usize;
+            let offered = source.len();
+            for t in 0..offered {
+                let mut q = queue.lock().unwrap();
+                if q.len() >= capacity {
+                    match policy {
+                        QueuePolicy::DropNewest => {
+                            dropped += 1;
+                            continue;
+                        }
+                        QueuePolicy::DropOldest => {
+                            q.pop_front();
+                            dropped += 1;
                         }
                     }
                 }
-                if batch > 0 {
-                    batches += 1;
-                }
-                (stored, indices, batches)
-            })
-        };
-
-        let mut dropped = 0usize;
-        let offered = source.len();
-        for t in 0..offered {
-            let mut q = queue.lock().unwrap();
-            if q.len() >= capacity {
-                match policy {
-                    QueuePolicy::DropNewest => {
-                        dropped += 1;
-                        continue;
-                    }
-                    QueuePolicy::DropOldest => {
-                        q.pop_front();
-                        dropped += 1;
-                    }
-                }
+                q.push_back((t, source.frame(t).to_vec()));
             }
-            q.push_back((t, source.frame(t).to_vec()));
-        }
-        done.store(true, Ordering::Release);
-        let (stored, indices, batches) = consumer.join().expect("storage thread panicked");
+            done.store(true, Ordering::Release);
+            let (stored, indices, batches) = consumer.join().expect("storage thread panicked");
+            (stored, indices, batches, dropped)
+        });
+        let offered = source.len();
 
         let stats = RecordingStats {
             stored_frames: offered - dropped,

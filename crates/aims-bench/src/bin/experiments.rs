@@ -9,7 +9,7 @@
 use aims_bench::{
     exp_acquisition, exp_adhd, exp_chaos, exp_durability, exp_extensions, exp_faults,
     exp_ingest_faults, exp_kernels, exp_online, exp_parallel, exp_propolyne, exp_service,
-    exp_storage, exp_system, exp_trace,
+    exp_storage, exp_system, exp_tier, exp_trace,
 };
 
 type Experiment = (&'static str, fn());
@@ -46,6 +46,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("e29", exp_kernels::e29_kernel_speed),
     ("e30", exp_durability::e30_durability),
     ("e31", exp_chaos::e31_chaos_qos),
+    ("e32", exp_tier::e32_tier),
 ];
 
 fn main() {

@@ -237,6 +237,46 @@ fn collect_current() -> Result<Vec<(MetricSpec, f64)>, String> {
         ));
     }
 
+    // E32 — tiered ingest. The absorption rate and query p99 are
+    // wall-clock numbers on a host also running the compactor, so they
+    // get wide bands (the 1M/s acceptance floor is asserted inside the
+    // experiment itself, not here); compaction lag moves with scheduler
+    // luck on a saturated box and gets an absolute allowance on top.
+    if let Some(v) = load("target/bench_tier.json")? {
+        let rate = v
+            .num("ingest_samples_per_sec")
+            .ok_or("bench_tier.json: missing ingest_samples_per_sec")?;
+        out.push((
+            MetricSpec {
+                name: "e32.ingest_samples_per_sec",
+                direction: Direction::Higher,
+                rel_tolerance: 0.60,
+                abs_tolerance: 0.0,
+            },
+            rate,
+        ));
+        let lag = v.num("compaction_lag_ms").ok_or("bench_tier.json: missing compaction_lag_ms")?;
+        out.push((
+            MetricSpec {
+                name: "e32.compaction_lag_ms",
+                direction: Direction::Lower,
+                rel_tolerance: 1.0,
+                abs_tolerance: 1000.0,
+            },
+            lag,
+        ));
+        let p99 = v.num("query_p99_ms").ok_or("bench_tier.json: missing query_p99_ms")?;
+        out.push((
+            MetricSpec {
+                name: "e32.query_p99_ms",
+                direction: Direction::Lower,
+                rel_tolerance: 2.0,
+                abs_tolerance: 10.0,
+            },
+            p99,
+        ));
+    }
+
     // E28 — tracing overhead ratio. Pure wall-time delta on a ~20 ms
     // run: the absolute band matters more than the relative one.
     if let Some(v) = load("target/bench_trace.json")? {

@@ -23,6 +23,7 @@ pub mod exp_propolyne;
 pub mod exp_service;
 pub mod exp_storage;
 pub mod exp_system;
+pub mod exp_tier;
 pub mod exp_trace;
 pub mod workloads;
 

@@ -56,6 +56,7 @@ pub mod qos;
 pub mod server;
 pub mod service;
 pub mod session;
+pub mod tiered;
 pub mod wire;
 
 pub use admission::{AdmissionController, Priority};
@@ -66,4 +67,5 @@ pub use qos::{QosConfig, SchedulerPolicy, Tier};
 pub use server::Server;
 pub use service::{QosStats, QueryService, ServiceConfig};
 pub use session::{Outcome, Polled, QuerySpec, Refinement, SessionHandle, Update};
+pub use tiered::{TieredAnswer, TieredPlanner, TieredPlannerConfig};
 pub use wire::{Frame, ProgressKind};

@@ -1,0 +1,163 @@
+//! The background compactor: sealed raw segments → blocked wavelet form.
+//!
+//! A dedicated thread repeatedly claims sealed segments (oldest first),
+//! wavelet-transforms them on an [`aims_exec::ThreadPool`] — the PR 7
+//! lifting kernels, one segment per pool task — and installs the results
+//! through the store's crash-ordered swap protocol. The loop is
+//! rate-limited two ways: at most `max_per_cycle` segments per cycle, and
+//! when foreground queries are in flight ([`TieredStore::queries_inflight`])
+//! the cycle degrades to one segment, so compaction I/O never starves
+//! interactive reads — the same degradation-over-starvation stance as the
+//! QoS tier ladder.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aims_dsp::dwt::dwt_full_inplace;
+use aims_dsp::kernel::DwtScratch;
+use aims_exec::ThreadPool;
+use aims_telemetry::global;
+
+use crate::layout::TierConfig;
+use crate::store::{SegCoeffs, TierMedia, TieredStore};
+
+/// Compactor tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactorConfig {
+    /// Segments compacted per cycle when the foreground is idle.
+    pub max_per_cycle: usize,
+    /// Sleep between cycles that found nothing to do.
+    pub idle_sleep: Duration,
+    /// Degrade to one segment per cycle while queries are in flight.
+    pub yield_to_queries: bool,
+    /// Transform pool width (0 = `aims_exec::configured_threads()`).
+    pub threads: usize,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        CompactorConfig {
+            max_per_cycle: 4,
+            idle_sleep: Duration::from_millis(1),
+            yield_to_queries: true,
+            threads: 0,
+        }
+    }
+}
+
+/// Wavelet-transforms one sealed segment: zero-pad to `segment_len`,
+/// full-depth DWT in place, per-block energy catalog.
+pub fn transform_segment(data: &[f64], cfg: &TierConfig) -> SegCoeffs {
+    let filter = cfg.filter.filter();
+    let mut buf = data.to_vec();
+    buf.resize(cfg.segment_len, 0.0);
+    let mut scratch = DwtScratch::new();
+    dwt_full_inplace(&mut buf, &filter, &mut scratch);
+    SegCoeffs::from_coeffs(buf, data.len(), cfg.block_size)
+}
+
+/// One compaction cycle: claim → transform (on `pool`) → install,
+/// ascending segment order. Returns how many segments were actually
+/// installed — a refused install (historical device down) leaves its
+/// segment raw and re-claimable, and stops the cycle so [`drain`]
+/// terminates instead of spinning against a dead device.
+pub fn run_once<D: TierMedia>(store: &TieredStore<D>, pool: &ThreadPool, max: usize) -> usize {
+    let claimed = store.claim_sealed(max);
+    if claimed.is_empty() {
+        return 0;
+    }
+    let t = global();
+    let start = Instant::now();
+    let cfg = store.config();
+    let transformed: Vec<SegCoeffs> =
+        pool.par_map(&claimed, |(_, data)| transform_segment(data, &cfg));
+    let mut bytes = 0u64;
+    let mut installed = 0usize;
+    let mut it = claimed.iter().zip(transformed);
+    for ((seg, data), coeffs) in it.by_ref() {
+        if !store.install(*seg, coeffs) {
+            t.counter("tier.compaction.refused").inc();
+            break;
+        }
+        bytes += (data.len() * 8) as u64;
+        installed += 1;
+    }
+    // Release any claims left behind by an aborted cycle.
+    for ((seg, _), _) in it {
+        store.release_claim(*seg);
+    }
+    t.counter("tier.compaction.runs").inc();
+    t.counter("tier.compaction.ns").add(start.elapsed().as_nanos() as u64);
+    t.counter("tier.compaction.bytes").add(bytes);
+    installed
+}
+
+/// Drains the whole raw backlog (tests, shutdown). Returns segments
+/// compacted.
+pub fn drain<D: TierMedia>(store: &TieredStore<D>, pool: &ThreadPool) -> usize {
+    let mut n = 0;
+    loop {
+        let c = run_once(store, pool, usize::MAX / 2);
+        if c == 0 {
+            return n;
+        }
+        n += c;
+    }
+}
+
+/// The background compaction thread. Dropping without [`Compactor::stop`]
+/// also shuts the thread down (stop-flag + join).
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl Compactor {
+    /// Spawns the compaction loop over a clone of `store`.
+    pub fn spawn<D: TierMedia + Send + 'static>(
+        store: TieredStore<D>,
+        cfg: CompactorConfig,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let threads = if cfg.threads == 0 { aims_exec::configured_threads() } else { cfg.threads };
+        let handle = std::thread::Builder::new()
+            .name("aims-tier-compactor".into())
+            .spawn(move || {
+                let pool = ThreadPool::new(threads);
+                let mut compacted = 0u64;
+                while !flag.load(Ordering::Acquire) {
+                    let max = if cfg.yield_to_queries && store.queries_inflight() > 0 {
+                        1
+                    } else {
+                        cfg.max_per_cycle.max(1)
+                    };
+                    let n = run_once(&store, &pool, max);
+                    compacted += n as u64;
+                    if n == 0 {
+                        std::thread::sleep(cfg.idle_sleep);
+                    }
+                }
+                compacted
+            })
+            .expect("spawn compactor thread");
+        Compactor { stop, handle: Some(handle) }
+    }
+
+    /// Stops the loop and returns how many segments it compacted.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.handle.take().map(|h| h.join().expect("compactor panicked")).unwrap_or(0)
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! On-device layout of the two tiers.
+//!
+//! Both tiers live on ordinary [`aims_storage::BlockDevice`]s — the
+//! in-memory device for tests, the WAL-backed [`aims_storage::FileDevice`]
+//! for durability — so every write below rides the existing checksum /
+//! write-ahead-log / crash-recovery machinery unchanged.
+//!
+//! Each device opens with a small **manifest** region at block 0..M
+//! followed by fixed-size segment slots:
+//!
+//! ```text
+//! hot device   [ manifest ][ seg 0 raw samples ][ seg 1 raw samples ] …
+//! hist device  [ manifest ][ seg 0 coefficients ][ seg 1 coefficients ] …
+//! ```
+//!
+//! The hot manifest records, per slot, a state (`empty` / `sealed raw` /
+//! `retired` / `open`) and the slot's logical sample count; the historical
+//! manifest records a single *installed* flag per slot. The compaction
+//! swap protocol orders its writes so that, at every crash point, exactly
+//! one manifest claims each segment:
+//!
+//! 1. coefficient blocks → hist WAL,
+//! 2. hist manifest `installed = 1`,
+//! 3. hist checkpoint (the commit point),
+//! 4. hot manifest `retired` (raw slot released).
+//!
+//! A crash before (3) leaves the raw slot authoritative — the partial
+//! coefficient writes are garbage that the redo overwrites. A crash
+//! between (3) and (4) is repaired on reopen by finishing the retirement,
+//! which is idempotent.
+
+/// All values an f64 carries exactly: the manifest is stored through the
+/// same checksummed f64-block pipeline as the payload data.
+pub(crate) const HOT_MAGIC: u64 = 0x4149_4D53_484F_5431; // "AIMSHOT1"
+pub(crate) const HIST_MAGIC: u64 = 0x4149_4D53_4853_5431; // "AIMSHST1"
+
+/// Per-slot states in the hot manifest.
+pub(crate) const SLOT_EMPTY: f64 = 0.0;
+pub(crate) const SLOT_RAW: f64 = 1.0;
+pub(crate) const SLOT_RETIRED: f64 = 2.0;
+pub(crate) const SLOT_OPEN: f64 = 3.0;
+
+/// Static geometry of a tiered store. Fixed at creation and persisted in
+/// both manifests; `open_durable` validates a reopened directory against
+/// the caller's config.
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// Samples per segment. Must be a power of two (each sealed segment
+    /// is wavelet-transformed whole).
+    pub segment_len: usize,
+    /// f64 values per device block. Must divide `segment_len`.
+    pub block_size: usize,
+    /// Capacity of both devices, in segment slots.
+    pub max_segments: usize,
+    /// Wavelet filter the compactor applies to sealed segments.
+    pub filter: aims_dsp::filters::FilterKind,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            segment_len: 4096,
+            block_size: 256,
+            max_segments: 64,
+            filter: aims_dsp::filters::FilterKind::Haar,
+        }
+    }
+}
+
+impl TierConfig {
+    /// Panics unless the geometry is self-consistent.
+    pub fn validate(&self) {
+        assert!(
+            self.segment_len.is_power_of_two() && self.segment_len >= 2,
+            "segment_len must be a power of two >= 2, got {}",
+            self.segment_len
+        );
+        assert!(
+            self.block_size >= 8 && self.segment_len.is_multiple_of(self.block_size),
+            "block_size must be >= 8 and divide segment_len ({} / {})",
+            self.segment_len,
+            self.block_size
+        );
+        assert!(self.max_segments >= 1, "max_segments must be >= 1");
+    }
+
+    /// Device blocks per segment slot.
+    pub fn blocks_per_segment(&self) -> usize {
+        self.segment_len / self.block_size
+    }
+
+    /// Blocks the manifest region occupies (shared by both devices; the
+    /// hot manifest is the larger of the two encodings).
+    pub fn manifest_blocks(&self) -> usize {
+        (4 + 2 * self.max_segments).div_ceil(self.block_size)
+    }
+
+    /// First device block of segment slot `seg`.
+    pub fn data_block(&self, seg: usize) -> usize {
+        self.manifest_blocks() + seg * self.blocks_per_segment()
+    }
+
+    /// Total blocks each device needs.
+    pub fn device_blocks(&self) -> usize {
+        self.manifest_blocks() + self.max_segments * self.blocks_per_segment()
+    }
+}
+
+/// A manifest staged in memory as the flat f64 image of its device
+/// blocks. Mutations mark the touched block dirty so a flush writes only
+/// what changed (a seal touches two blocks, not the whole region).
+pub(crate) struct Manifest {
+    image: Vec<f64>,
+    block_size: usize,
+    dirty: Vec<bool>,
+}
+
+impl Manifest {
+    pub(crate) fn fresh(magic: u64, cfg: &TierConfig) -> Self {
+        let mut m = Manifest {
+            image: vec![0.0; cfg.manifest_blocks() * cfg.block_size],
+            block_size: cfg.block_size,
+            dirty: vec![true; cfg.manifest_blocks()],
+        };
+        m.image[0] = f64::from_bits(magic);
+        m.image[1] = cfg.segment_len as f64;
+        m.image[2] = cfg.block_size as f64;
+        m.image[3] = 0.0;
+        m
+    }
+
+    /// Rebuilds the staged image from device blocks 0..M, validating the
+    /// magic and geometry.
+    pub(crate) fn load<D: aims_storage::BlockDevice>(
+        device: &D,
+        magic: u64,
+        cfg: &TierConfig,
+        what: &str,
+    ) -> Self {
+        let mut image = Vec::with_capacity(cfg.manifest_blocks() * cfg.block_size);
+        for b in 0..cfg.manifest_blocks() {
+            let blk = device
+                .read_block(b)
+                .unwrap_or_else(|e| panic!("{what} manifest block {b} unreadable: {e:?}"));
+            image.extend_from_slice(&blk);
+        }
+        assert_eq!(image[0].to_bits(), f64::from_bits(magic).to_bits(), "{what} manifest magic");
+        assert_eq!(image[1] as usize, cfg.segment_len, "{what} manifest segment_len");
+        assert_eq!(image[2] as usize, cfg.block_size, "{what} manifest block_size");
+        Manifest { image, block_size: cfg.block_size, dirty: vec![false; cfg.manifest_blocks()] }
+    }
+
+    fn set(&mut self, idx: usize, v: f64) {
+        if self.image[idx].to_bits() != v.to_bits() {
+            self.image[idx] = v;
+            self.dirty[idx / self.block_size] = true;
+        }
+    }
+
+    pub(crate) fn set_total_len(&mut self, n: usize) {
+        self.set(3, n as f64);
+    }
+
+    /// Hot encoding: per-slot (state, logical length) pairs.
+    pub(crate) fn slot_state(&self, seg: usize) -> f64 {
+        self.image[4 + 2 * seg]
+    }
+
+    pub(crate) fn slot_len(&self, seg: usize) -> usize {
+        self.image[5 + 2 * seg] as usize
+    }
+
+    pub(crate) fn set_slot(&mut self, seg: usize, state: f64, len: usize) {
+        self.set(4 + 2 * seg, state);
+        self.set(5 + 2 * seg, len as f64);
+    }
+
+    /// Hist encoding: one installed flag per slot (the length pairs keep
+    /// the hot layout so both manifests share a block budget).
+    pub(crate) fn installed(&self, seg: usize) -> bool {
+        self.image[4 + 2 * seg] == 1.0
+    }
+
+    pub(crate) fn set_installed(&mut self, seg: usize) {
+        self.set(4 + 2 * seg, 1.0);
+    }
+
+    /// Writes the dirty manifest blocks through the device (and its WAL).
+    pub(crate) fn flush<D: aims_storage::BlockDevice>(&mut self, device: &mut D) {
+        for b in 0..self.dirty.len() {
+            if self.dirty[b] {
+                device.write_block(b, &self.image[b * self.block_size..(b + 1) * self.block_size]);
+                self.dirty[b] = false;
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Unified query evaluation over a [`TierSnapshot`].
+//!
+//! A range sum `Σ f(t), t ∈ [a, b]` fans out across the snapshot's
+//! segments. Hot segments answer **exactly** by summing raw samples.
+//! Historical segments answer in the wavelet domain: orthonormal DWTs
+//! preserve inner products, so the segment's contribution is
+//! `⟨coeffs, W·1_[la,lb]⟩` where the weight vector is the DWT of the
+//! local range indicator — computed in O(S) by the same lifting kernels
+//! that built the coefficients.
+//!
+//! Determinism contract (the oracle bit-identity tests lean on this):
+//! every evaluation computes one partial per segment — raw samples or
+//! `w·c` products accumulated in ascending index order — and folds the
+//! partials in ascending segment order into a single accumulator. Two
+//! stores whose snapshots hold bit-identical payloads therefore return
+//! bit-identical sums, whether the partials were computed serially or
+//! fanned out on a pool.
+
+use aims_dsp::dwt::dwt_full_inplace;
+use aims_dsp::kernel::DwtScratch;
+use aims_exec::ThreadPool;
+use aims_telemetry::global;
+
+use crate::store::{SnapKind, TierSnapshot};
+
+/// The DWT of the indicator vector of local range `[la, lb]` within a
+/// segment of `seg_len` slots.
+pub(crate) fn segment_weights(
+    seg_len: usize,
+    la: usize,
+    lb: usize,
+    filter: &aims_dsp::filters::WaveletFilter,
+    scratch: &mut DwtScratch,
+) -> Vec<f64> {
+    let mut w = vec![0.0; seg_len];
+    w[la..=lb].fill(1.0);
+    dwt_full_inplace(&mut w, filter, scratch);
+    w
+}
+
+/// One segment's exact contribution to `Σ f(t), t ∈ [a, b]` (global
+/// coordinates), or `None` when the segment doesn't overlap the range.
+fn segment_partial(
+    seg: &crate::store::SnapSeg,
+    a: usize,
+    b: usize,
+    cfg: &crate::layout::TierConfig,
+) -> Option<(f64, usize)> {
+    let end = seg.start + seg.len;
+    if b < seg.start || a >= end || seg.len == 0 {
+        return None;
+    }
+    let la = a.max(seg.start) - seg.start;
+    let lb = (b.min(end - 1)) - seg.start;
+    match &seg.kind {
+        SnapKind::Hot(data) => {
+            let mut acc = 0.0;
+            for &v in &data[la..=lb] {
+                acc += v;
+            }
+            Some((acc, lb - la + 1))
+        }
+        SnapKind::Hist(coeffs) => {
+            let filter = cfg.filter.filter();
+            let mut scratch = DwtScratch::new();
+            let w = segment_weights(cfg.segment_len, la, lb, &filter, &mut scratch);
+            let mut acc = 0.0;
+            for (wi, ci) in w.iter().zip(coeffs.coeffs.iter()) {
+                if *wi != 0.0 {
+                    acc += wi * ci;
+                }
+            }
+            Some((acc, 0))
+        }
+    }
+}
+
+/// Exact range sum over `[a, b]` (inclusive, clamped to the snapshot),
+/// fanning segment partials out on `pool`. Bit-identical for every pool
+/// width, including serial.
+pub fn range_sum_on(snap: &TierSnapshot, a: usize, b: usize, pool: &ThreadPool) -> f64 {
+    if snap.is_empty() || a > b || a >= snap.len() {
+        return 0.0;
+    }
+    let b = b.min(snap.len() - 1);
+    let cfg = snap.cfg;
+    let partials = pool.par_map(&snap.segs, |seg| segment_partial(seg, a, b, &cfg));
+    let mut acc = 0.0;
+    let mut hot_rows = 0usize;
+    let mut hot_segs = 0usize;
+    let mut hist_segs = 0usize;
+    for (seg, p) in snap.segs.iter().zip(partials) {
+        if let Some((v, rows)) = p {
+            acc += v;
+            hot_rows += rows;
+            match seg.kind {
+                SnapKind::Hot(_) => hot_segs += 1,
+                SnapKind::Hist(_) => hist_segs += 1,
+            }
+        }
+    }
+    let t = global();
+    t.counter("tier.query.hot_rows").add(hot_rows as u64);
+    if hot_segs > 0 && hist_segs > 0 {
+        t.counter("tier.query.merged").inc();
+    }
+    acc
+}
+
+/// [`range_sum_on`] with a throwaway serial pool.
+pub fn range_sum(snap: &TierSnapshot, a: usize, b: usize) -> f64 {
+    range_sum_on(snap, a, b, &ThreadPool::new(1))
+}
+
+/// One unconsumed historical block's stake in a progressive evaluation.
+struct BlockTerm {
+    /// Cauchy–Schwarz gain `sqrt(Σw²_block · Σc²_block)` — how much of
+    /// the bound consuming this block removes.
+    gain: f64,
+    /// The block's exact contribution `Σ w·c` (ascending index order).
+    partial: f64,
+}
+
+/// Progressive two-tier evaluation: the hot tier answers exactly up
+/// front; historical blocks are consumed most-important-first, each step
+/// tightening one monotone Cauchy–Schwarz bound over everything not yet
+/// consumed. Once every block is consumed the estimate is replaced by the
+/// canonical exact evaluation, so a drained progressive query converges
+/// bit-identically to [`range_sum_on`].
+pub struct TieredProgressive {
+    /// Exact hot-tier contribution (zero-error from step 0).
+    hot_part: f64,
+    /// Raw samples the hot tier summed.
+    pub hot_rows: usize,
+    items: Vec<BlockTerm>,
+    consumed: usize,
+    hist_estimate: f64,
+    bound: f64,
+    exact: f64,
+}
+
+/// One delivered refinement step.
+#[derive(Clone, Copy, Debug)]
+pub struct TierStep {
+    /// Estimate after this step (hot exact + consumed historical blocks).
+    pub estimate: f64,
+    /// Monotone Cauchy–Schwarz bound on `|estimate − exact|`.
+    pub bound: f64,
+    /// Historical blocks consumed so far.
+    pub blocks_consumed: usize,
+}
+
+impl TieredProgressive {
+    /// Plans a progressive evaluation of `Σ f(t), t ∈ [a, b]` against the
+    /// snapshot.
+    pub fn new(snap: &TierSnapshot, a: usize, b: usize, pool: &ThreadPool) -> Self {
+        let exact = range_sum_on(snap, a, b, pool);
+        if snap.is_empty() || a > b || a >= snap.len() {
+            return TieredProgressive {
+                hot_part: 0.0,
+                hot_rows: 0,
+                items: Vec::new(),
+                consumed: 0,
+                hist_estimate: 0.0,
+                bound: 0.0,
+                exact,
+            };
+        }
+        let b = b.min(snap.len() - 1);
+        let cfg = snap.cfg;
+        let filter = cfg.filter.filter();
+        let bs = cfg.block_size;
+        let mut scratch = DwtScratch::new();
+        let mut hot_part = 0.0;
+        let mut hot_rows = 0usize;
+        let mut items = Vec::new();
+        for seg in &snap.segs {
+            let end = seg.start + seg.len;
+            if b < seg.start || a >= end || seg.len == 0 {
+                continue;
+            }
+            let la = a.max(seg.start) - seg.start;
+            let lb = (b.min(end - 1)) - seg.start;
+            match &seg.kind {
+                SnapKind::Hot(data) => {
+                    for &v in &data[la..=lb] {
+                        hot_part += v;
+                    }
+                    hot_rows += lb - la + 1;
+                }
+                SnapKind::Hist(coeffs) => {
+                    let w = segment_weights(cfg.segment_len, la, lb, &filter, &mut scratch);
+                    for (blk, wblk) in w.chunks(bs).enumerate() {
+                        let wsq: f64 = wblk.iter().map(|x| x * x).sum();
+                        if wsq == 0.0 {
+                            continue;
+                        }
+                        let mut partial = 0.0;
+                        for (wi, ci) in wblk.iter().zip(&coeffs.coeffs[blk * bs..(blk + 1) * bs]) {
+                            if *wi != 0.0 {
+                                partial += wi * ci;
+                            }
+                        }
+                        let gain = (wsq * coeffs.block_energy[blk]).sqrt();
+                        items.push(BlockTerm { gain, partial });
+                    }
+                }
+            }
+        }
+        // Most-important-first; ties keep planning order (stable sort) so
+        // the consumption sequence is deterministic.
+        items.sort_by(|x, y| y.gain.partial_cmp(&x.gain).unwrap_or(std::cmp::Ordering::Equal));
+        let bound = items.iter().map(|i| i.gain).sum();
+        TieredProgressive {
+            hot_part,
+            hot_rows,
+            items,
+            consumed: 0,
+            hist_estimate: 0.0,
+            bound,
+            exact,
+        }
+    }
+
+    /// Historical blocks this evaluation will consume in total.
+    pub fn total_blocks(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when every historical block has been consumed.
+    pub fn done(&self) -> bool {
+        self.consumed >= self.items.len()
+    }
+
+    /// The current refinement.
+    pub fn current(&self) -> TierStep {
+        if self.done() {
+            TierStep { estimate: self.exact, bound: 0.0, blocks_consumed: self.consumed }
+        } else {
+            TierStep {
+                estimate: self.hot_part + self.hist_estimate,
+                bound: self.bound.max(0.0),
+                blocks_consumed: self.consumed,
+            }
+        }
+    }
+
+    /// Consumes up to `k` more historical blocks, most-important-first,
+    /// and returns the refined step. The bound never increases.
+    pub fn step(&mut self, k: usize) -> TierStep {
+        let upto = (self.consumed + k.max(1)).min(self.items.len());
+        while self.consumed < upto {
+            let item = &self.items[self.consumed];
+            self.hist_estimate += item.partial;
+            // Subtracting a non-negative gain can't round upward, so the
+            // bound is monotone non-increasing in floating point too.
+            self.bound -= item.gain;
+            self.consumed += 1;
+        }
+        self.current()
+    }
+
+    /// Runs the evaluation to completion and returns the exact answer.
+    pub fn drain(&mut self) -> TierStep {
+        while !self.done() {
+            self.step(usize::MAX / 2);
+        }
+        self.current()
+    }
+}

@@ -1,0 +1,618 @@
+//! The two-tier store: durable hot segments + installed wavelet segments.
+//!
+//! One [`TieredStore`] owns two block devices (hot raw, historical
+//! coefficients) behind a single mutex, and hands out cheap clones of
+//! itself — the ingest path, the background compactor and any number of
+//! query threads all hold the same store. Queries never evaluate under
+//! the lock: they take a [`TierSnapshot`] (Arc clones of every segment's
+//! payload plus a copy of the open tail), so a compaction swap that
+//! completes mid-query cannot move a sample between tiers underneath it —
+//! each sample is seen in exactly the tier the snapshot captured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use aims_storage::{BlockDevice, FileDevice, FileDeviceOptions, MemDevice};
+use aims_telemetry::global;
+
+use crate::layout::{
+    Manifest, TierConfig, HIST_MAGIC, HOT_MAGIC, SLOT_EMPTY, SLOT_OPEN, SLOT_RAW, SLOT_RETIRED,
+};
+
+/// A sealed segment's wavelet form: the full-depth DWT of the (zero-padded)
+/// segment, plus the per-device-block coefficient energies the progressive
+/// bound consumes.
+#[derive(Clone, Debug)]
+pub struct SegCoeffs {
+    /// `segment_len` coefficients in flat error-tree order.
+    pub coeffs: Vec<f64>,
+    /// Logical sample count (< `segment_len` only for a force-sealed tail).
+    pub len: usize,
+    /// Σ c² per device block, ascending block order.
+    pub block_energy: Vec<f64>,
+}
+
+impl SegCoeffs {
+    /// Builds the per-block energy catalog from a flat coefficient vector.
+    pub fn from_coeffs(coeffs: Vec<f64>, len: usize, block_size: usize) -> Self {
+        let block_energy =
+            coeffs.chunks(block_size).map(|blk| blk.iter().map(|c| c * c).sum::<f64>()).collect();
+        SegCoeffs { coeffs, len, block_energy }
+    }
+}
+
+/// A sealed segment's in-memory residency.
+enum Seg {
+    /// Sealed raw samples, durable on the hot device. `compacting` marks a
+    /// segment claimed by the compactor (still served raw until installed).
+    Raw { data: Arc<Vec<f64>>, compacting: bool },
+    /// Wavelet form installed on the historical device; raw slot retired.
+    Hist { coeffs: Arc<SegCoeffs> },
+}
+
+impl Seg {
+    fn len(&self) -> usize {
+        match self {
+            Seg::Raw { data, .. } => data.len(),
+            Seg::Hist { coeffs } => coeffs.len,
+        }
+    }
+}
+
+struct Inner<D: BlockDevice> {
+    hot: D,
+    hist: D,
+    hot_man: Manifest,
+    hist_man: Manifest,
+    segs: Vec<Seg>,
+    /// The open (still-filling) tail segment; its slot is `segs.len()`.
+    open_buf: Vec<f64>,
+    /// Hot-device blocks of the open segment already written through.
+    open_written: usize,
+    /// Samples covered by sealed segments (the manifest's ack frontier,
+    /// before adding any synced open tail).
+    durable_sealed: usize,
+}
+
+/// Live counts for telemetry and drills.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Logical samples pushed (including the unsealed open tail).
+    pub total_len: usize,
+    /// Samples in the open tail segment.
+    pub open_len: usize,
+    /// Sealed segments still raw (compaction backlog).
+    pub sealed_raw: usize,
+    /// Segments installed in the historical tier.
+    pub historical: usize,
+}
+
+/// Per-segment tier residency captured by a snapshot — drills use this to
+/// assert every sample lives in exactly one tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentView {
+    /// Global offset of the segment's first sample.
+    pub start: usize,
+    /// Logical samples in the segment.
+    pub len: usize,
+    /// True when the snapshot serves this segment from the wavelet tier.
+    pub historical: bool,
+}
+
+pub(crate) enum SnapKind {
+    Hot(Arc<Vec<f64>>),
+    Hist(Arc<SegCoeffs>),
+}
+
+pub(crate) struct SnapSeg {
+    pub(crate) start: usize,
+    pub(crate) len: usize,
+    pub(crate) kind: SnapKind,
+}
+
+/// An immutable, consistent view of the store at one instant. Queries
+/// evaluate against a snapshot, never the live store, so concurrent
+/// seals/compactions can't double- or zero-count a sample mid-query.
+pub struct TierSnapshot {
+    pub(crate) cfg: TierConfig,
+    pub(crate) segs: Vec<SnapSeg>,
+    total_len: usize,
+}
+
+impl TierSnapshot {
+    /// Logical samples visible to this snapshot.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// True when the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// The per-segment tier residency this snapshot captured.
+    pub fn segments(&self) -> Vec<SegmentView> {
+        self.segs
+            .iter()
+            .map(|s| SegmentView {
+                start: s.start,
+                len: s.len,
+                historical: matches!(s.kind, SnapKind::Hist(_)),
+            })
+            .collect()
+    }
+}
+
+/// Marks a query in flight for the compactor's rate limiter; dropped when
+/// the query finishes.
+pub struct QueryGuard {
+    inflight: Arc<AtomicU64>,
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The tiered store handle. `Clone` is cheap (an `Arc` bump); all clones
+/// share one store.
+pub struct TieredStore<D: TierMedia> {
+    inner: Arc<Mutex<Inner<D>>>,
+    cfg: TierConfig,
+    inflight: Arc<AtomicU64>,
+}
+
+impl<D: TierMedia> Clone for TieredStore<D> {
+    fn clone(&self) -> Self {
+        TieredStore {
+            inner: Arc::clone(&self.inner),
+            cfg: self.cfg,
+            inflight: Arc::clone(&self.inflight),
+        }
+    }
+}
+
+impl TieredStore<MemDevice> {
+    /// A fresh in-memory store (tests, drills without durability).
+    pub fn new_mem(cfg: TierConfig) -> Self {
+        cfg.validate();
+        let blocks = cfg.device_blocks();
+        let hot = MemDevice::new(cfg.block_size, blocks);
+        let hist = MemDevice::new(cfg.block_size, blocks);
+        Self::fresh(cfg, hot, hist)
+    }
+}
+
+impl TieredStore<FileDevice> {
+    /// Creates a durable store: `dir/hot` and `dir/hist` become two
+    /// WAL-backed [`FileDevice`] directories.
+    pub fn create_durable(
+        dir: &std::path::Path,
+        cfg: TierConfig,
+        opts: FileDeviceOptions,
+    ) -> std::io::Result<Self> {
+        Self::create_durable_with(dir, cfg, opts.clone(), opts)
+    }
+
+    /// [`Self::create_durable`] with separate options per device — crash
+    /// drills arm a [`aims_storage::CrashPlan`] on one tier at a time.
+    pub fn create_durable_with(
+        dir: &std::path::Path,
+        cfg: TierConfig,
+        hot_opts: FileDeviceOptions,
+        hist_opts: FileDeviceOptions,
+    ) -> std::io::Result<Self> {
+        cfg.validate();
+        std::fs::create_dir_all(dir)?;
+        let blocks = cfg.device_blocks();
+        let hot = FileDevice::create(dir.join("hot"), cfg.block_size, blocks, hot_opts)?;
+        let hist = FileDevice::create(dir.join("hist"), cfg.block_size, blocks, hist_opts)?;
+        Ok(Self::fresh(cfg, hot, hist))
+    }
+
+    /// Reopens a durable store, replaying both WALs and repairing any
+    /// half-finished compaction swap (installed-but-not-retired segments
+    /// finish retirement; uninstalled ones stay raw — acked ingest wins).
+    pub fn open_durable(
+        dir: &std::path::Path,
+        cfg: TierConfig,
+        opts: FileDeviceOptions,
+    ) -> std::io::Result<Self> {
+        Self::open_durable_with(dir, cfg, opts.clone(), opts)
+    }
+
+    /// [`Self::open_durable`] with separate options per device.
+    pub fn open_durable_with(
+        dir: &std::path::Path,
+        cfg: TierConfig,
+        hot_opts: FileDeviceOptions,
+        hist_opts: FileDeviceOptions,
+    ) -> std::io::Result<Self> {
+        cfg.validate();
+        let hot = FileDevice::open(dir.join("hot"), hot_opts)?;
+        let hist = FileDevice::open(dir.join("hist"), hist_opts)?;
+        Ok(Self::recover(cfg, hot, hist))
+    }
+
+    /// Checkpoints both devices (folds the WALs into the main files).
+    pub fn checkpoint(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hot.checkpoint();
+        inner.hist.checkpoint();
+    }
+
+    /// Whether each device's seeded crash plan has fired: `(hot, hist)`.
+    pub fn devices_crashed(&self) -> (bool, bool) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hot.is_crashed(), inner.hist.is_crashed())
+    }
+}
+
+impl<D: TierMedia> TieredStore<D> {
+    fn fresh(cfg: TierConfig, mut hot: D, mut hist: D) -> Self {
+        assert!(hot.num_blocks() >= cfg.device_blocks(), "hot device too small");
+        assert!(hist.num_blocks() >= cfg.device_blocks(), "hist device too small");
+        let mut hot_man = Manifest::fresh(HOT_MAGIC, &cfg);
+        let mut hist_man = Manifest::fresh(HIST_MAGIC, &cfg);
+        hot_man.flush(&mut hot);
+        hist_man.flush(&mut hist);
+        global().counter("tier.segments.open").inc();
+        let inner = Inner {
+            hot,
+            hist,
+            hot_man,
+            hist_man,
+            segs: Vec::new(),
+            open_buf: Vec::with_capacity(cfg.segment_len),
+            open_written: 0,
+            durable_sealed: 0,
+        };
+        TieredStore {
+            inner: Arc::new(Mutex::new(inner)),
+            cfg,
+            inflight: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Rebuilds in-memory state from the two manifests. The historical
+    /// manifest is authoritative for any segment it has installed.
+    fn recover(cfg: TierConfig, hot: D, hist: D) -> Self {
+        let hot_man = Manifest::load(&hot, HOT_MAGIC, &cfg, "hot");
+        let hist_man = Manifest::load(&hist, HIST_MAGIC, &cfg, "hist");
+        let bs = cfg.block_size;
+        let mut segs = Vec::new();
+        let mut open_buf = Vec::with_capacity(cfg.segment_len);
+        let mut open_written = 0usize;
+        let mut durable_sealed = 0usize;
+        let mut finish_retirement = Vec::new();
+
+        let read_samples = |device: &D, first_block: usize, len: usize, what: &str| -> Vec<f64> {
+            let mut out = Vec::with_capacity(len.div_ceil(bs) * bs);
+            for b in 0..len.div_ceil(bs) {
+                let blk = device
+                    .read_block(first_block + b)
+                    .unwrap_or_else(|e| panic!("{what} block {b} unreadable on recovery: {e:?}"));
+                out.extend_from_slice(&blk);
+            }
+            out.truncate(len);
+            out
+        };
+
+        for seg in 0..cfg.max_segments {
+            let state = hot_man.slot_state(seg);
+            if state == SLOT_EMPTY {
+                break;
+            }
+            let len = hot_man.slot_len(seg);
+            let installed = hist_man.installed(seg);
+            if state == SLOT_OPEN {
+                open_buf = read_samples(&hot, cfg.data_block(seg), len, "hot(open)");
+                // A synced partial tail block gets rewritten when it fills.
+                open_written = len / bs;
+                break;
+            }
+            if installed {
+                let coeffs = read_samples(&hist, cfg.data_block(seg), cfg.segment_len, "hist");
+                segs.push(Seg::Hist { coeffs: Arc::new(SegCoeffs::from_coeffs(coeffs, len, bs)) });
+                if state == SLOT_RAW {
+                    // Crashed between hist commit and raw retirement.
+                    finish_retirement.push((seg, len));
+                }
+            } else {
+                assert!(
+                    state == SLOT_RAW,
+                    "segment {seg} retired on the hot device but never installed"
+                );
+                let data = read_samples(&hot, cfg.data_block(seg), len, "hot");
+                segs.push(Seg::Raw { data: Arc::new(data), compacting: false });
+            }
+            durable_sealed += len;
+        }
+
+        let mut inner =
+            Inner { hot, hist, hot_man, hist_man, segs, open_buf, open_written, durable_sealed };
+        for (seg, len) in finish_retirement {
+            inner.hot_man.set_slot(seg, SLOT_RETIRED, len);
+        }
+        inner.hot_man.flush(&mut inner.hot);
+        TieredStore {
+            inner: Arc::new(Mutex::new(inner)),
+            cfg,
+            inflight: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The store's static geometry.
+    pub fn config(&self) -> TierConfig {
+        self.cfg
+    }
+
+    /// Logical samples pushed so far.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.segs.iter().map(Seg::len).sum::<usize>() + inner.open_buf.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live tier counts.
+    pub fn stats(&self) -> TierStats {
+        let inner = self.inner.lock().unwrap();
+        let sealed_raw = inner.segs.iter().filter(|s| matches!(s, Seg::Raw { .. })).count();
+        let historical = inner.segs.len() - sealed_raw;
+        TierStats {
+            total_len: inner.segs.iter().map(Seg::len).sum::<usize>() + inner.open_buf.len(),
+            open_len: inner.open_buf.len(),
+            sealed_raw,
+            historical,
+        }
+    }
+
+    /// Queries currently holding a [`QueryGuard`] — the compactor's
+    /// foreground-pressure signal.
+    pub fn queries_inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Marks a query in flight until the guard drops.
+    pub fn begin_query(&self) -> QueryGuard {
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        QueryGuard { inflight: Arc::clone(&self.inflight) }
+    }
+
+    /// Appends one sample.
+    pub fn push(&self, x: f64) {
+        self.push_slice(&[x]);
+    }
+
+    /// Appends a run of samples, writing each completed device block
+    /// through the hot device (and its WAL) and sealing segments as they
+    /// fill. Panics when both devices are out of segment slots.
+    pub fn push_slice(&self, xs: &[f64]) {
+        if xs.is_empty() {
+            return;
+        }
+        let cfg = self.cfg;
+        let bs = cfg.block_size;
+        let mut inner = self.inner.lock().unwrap();
+        let mut i = 0usize;
+        while i < xs.len() {
+            let seg = inner.segs.len();
+            assert!(
+                seg < cfg.max_segments,
+                "tier capacity exhausted: {} segment slots full",
+                cfg.max_segments
+            );
+            let room = cfg.segment_len - inner.open_buf.len();
+            let take = room.min(xs.len() - i);
+            inner.open_buf.extend_from_slice(&xs[i..i + take]);
+            i += take;
+            let complete = inner.open_buf.len() / bs;
+            while inner.open_written < complete {
+                let b = inner.open_written;
+                let blk_id = cfg.data_block(seg) + b;
+                // Split borrows: the block payload lives in open_buf.
+                let Inner { hot, open_buf, .. } = &mut *inner;
+                hot.write_block(blk_id, &open_buf[b * bs..(b + 1) * bs]);
+                inner.open_written += 1;
+            }
+            if inner.open_buf.len() == cfg.segment_len {
+                Self::seal_locked(&mut inner, &cfg);
+            }
+        }
+    }
+
+    /// Seals the open tail segment even if partial (its blocks are padded
+    /// with zeros on device; the logical length is kept in the manifest).
+    /// No-op on an empty tail.
+    pub fn seal_open(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.open_buf.is_empty() {
+            Self::seal_locked(&mut inner, &self.cfg);
+        }
+    }
+
+    fn seal_locked(inner: &mut Inner<D>, cfg: &TierConfig) {
+        let bs = cfg.block_size;
+        let seg = inner.segs.len();
+        let len = inner.open_buf.len();
+        // Flush the partial tail block, zero-padded, if any.
+        if !len.is_multiple_of(bs) {
+            let b = len / bs;
+            let mut tail = inner.open_buf[b * bs..].to_vec();
+            tail.resize(bs, 0.0);
+            let blk_id = cfg.data_block(seg) + b;
+            inner.hot.write_block(blk_id, &tail);
+        }
+        inner.durable_sealed += len;
+        inner.hot_man.set_slot(seg, SLOT_RAW, len);
+        let durable = inner.durable_sealed;
+        inner.hot_man.set_total_len(durable);
+        let Inner { hot, hot_man, .. } = &mut *inner;
+        hot_man.flush(hot);
+        let data = std::mem::replace(&mut inner.open_buf, Vec::with_capacity(cfg.segment_len));
+        inner.open_written = 0;
+        inner.segs.push(Seg::Raw { data: Arc::new(data), compacting: false });
+        let t = global();
+        t.counter("tier.segments.sealed").inc();
+        t.counter("tier.segments.open").inc();
+        t.gauge("tier.segments.raw_pending")
+            .set(inner.segs.iter().filter(|s| matches!(s, Seg::Raw { .. })).count() as f64);
+    }
+
+    /// Makes the open tail durable up to the last pushed sample: writes
+    /// the partial tail block (zero-padded), records the open length in
+    /// the manifest, and flushes. After this, a reopened store recovers
+    /// every pushed sample.
+    pub fn sync(&self) {
+        let cfg = self.cfg;
+        let bs = cfg.block_size;
+        let mut inner = self.inner.lock().unwrap();
+        let seg = inner.segs.len();
+        let len = inner.open_buf.len();
+        if !len.is_multiple_of(bs) {
+            let b = len / bs;
+            let mut tail = inner.open_buf[b * bs..].to_vec();
+            tail.resize(bs, 0.0);
+            let blk_id = cfg.data_block(seg) + b;
+            inner.hot.write_block(blk_id, &tail);
+        }
+        if len > 0 {
+            inner.hot_man.set_slot(seg, SLOT_OPEN, len);
+        }
+        let durable = inner.durable_sealed + len;
+        inner.hot_man.set_total_len(durable);
+        let Inner { hot, hot_man, .. } = &mut *inner;
+        hot_man.flush(hot);
+    }
+
+    /// A consistent view for query evaluation. The open tail is copied;
+    /// sealed payloads are shared by `Arc`.
+    pub fn snapshot(&self) -> TierSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut segs = Vec::with_capacity(inner.segs.len() + 1);
+        let mut start = 0usize;
+        for seg in &inner.segs {
+            let (len, kind) = match seg {
+                Seg::Raw { data, .. } => (data.len(), SnapKind::Hot(Arc::clone(data))),
+                Seg::Hist { coeffs } => (coeffs.len, SnapKind::Hist(Arc::clone(coeffs))),
+            };
+            segs.push(SnapSeg { start, len, kind });
+            start += len;
+        }
+        if !inner.open_buf.is_empty() {
+            segs.push(SnapSeg {
+                start,
+                len: inner.open_buf.len(),
+                kind: SnapKind::Hot(Arc::new(inner.open_buf.clone())),
+            });
+            start += inner.open_buf.len();
+        }
+        TierSnapshot { cfg: self.cfg, segs, total_len: start }
+    }
+
+    /// Claims up to `max` sealed raw segments for compaction (oldest
+    /// first), marking them so concurrent calls don't double-claim.
+    pub fn claim_sealed(&self, max: usize) -> Vec<(usize, Arc<Vec<f64>>)> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut claimed = Vec::new();
+        for (id, seg) in inner.segs.iter_mut().enumerate() {
+            if claimed.len() >= max {
+                break;
+            }
+            if let Seg::Raw { data, compacting } = seg {
+                if !*compacting {
+                    *compacting = true;
+                    claimed.push((id, Arc::clone(data)));
+                }
+            }
+        }
+        claimed
+    }
+
+    /// Releases a claim without installing (compactor shutdown mid-cycle).
+    pub fn release_claim(&self, seg: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(Seg::Raw { compacting, .. }) = inner.segs.get_mut(seg) {
+            *compacting = false;
+        }
+    }
+
+    /// The compaction swap: writes `coeffs` to the historical device,
+    /// commits it (manifest + checkpoint), then retires the raw slot and
+    /// swaps the in-memory segment to the wavelet tier. Ordered so a crash
+    /// at any point leaves exactly one manifest claiming the segment, with
+    /// the raw slot winning until the historical commit completes. Returns
+    /// `false` — leaving the segment raw and re-claimable — when the
+    /// historical device refuses the commit; retiring the raw slot on a
+    /// commit that didn't land would orphan the segment on both devices.
+    pub fn install(&self, seg: usize, coeffs: SegCoeffs) -> bool {
+        let cfg = self.cfg;
+        let mut inner = self.inner.lock().unwrap();
+        let len = coeffs.len;
+        debug_assert_eq!(coeffs.coeffs.len(), cfg.segment_len);
+        match &inner.segs[seg] {
+            Seg::Raw { data, .. } => debug_assert_eq!(data.len(), len),
+            Seg::Hist { .. } => panic!("segment {seg} installed twice"),
+        }
+        // (1) coefficient blocks through the hist WAL, ascending.
+        for b in 0..cfg.blocks_per_segment() {
+            let blk = &coeffs.coeffs[b * cfg.block_size..(b + 1) * cfg.block_size];
+            let blk_id = cfg.data_block(seg) + b;
+            inner.hist.write_block(blk_id, blk);
+        }
+        // (2) historical manifest claims the segment; (3) commit.
+        inner.hist_man.set_installed(seg);
+        {
+            let Inner { hist, hist_man, .. } = &mut *inner;
+            hist_man.flush(hist);
+        }
+        if !inner.hist.commit() {
+            // Historical device is gone; the raw slot stays authoritative
+            // (the WAL's ordering keeps any partial install harmless).
+            if let Seg::Raw { compacting, .. } = &mut inner.segs[seg] {
+                *compacting = false;
+            }
+            return false;
+        }
+        // (4) retire the raw slot and swap the in-memory tier.
+        inner.hot_man.set_slot(seg, SLOT_RETIRED, len);
+        {
+            let Inner { hot, hot_man, .. } = &mut *inner;
+            hot_man.flush(hot);
+        }
+        inner.segs[seg] = Seg::Hist { coeffs: Arc::new(coeffs) };
+        let t = global();
+        t.counter("tier.segments.compacted").inc();
+        t.gauge("tier.segments.raw_pending")
+            .set(inner.segs.iter().filter(|s| matches!(s, Seg::Raw { .. })).count() as f64);
+        true
+    }
+}
+
+/// The devices a tiered store can live on: a [`BlockDevice`] plus the
+/// install commit point. A WAL-backed device checkpoints (fold + fsync)
+/// to make the historical claim durable before the raw slot is retired;
+/// the in-memory device needs nothing beyond the writes.
+pub trait TierMedia: BlockDevice {
+    /// Makes everything written so far durable (the historical install's
+    /// commit point). Returns `false` when the device cannot honor the
+    /// commit (e.g. a seeded crash fired) — the caller must then keep the
+    /// raw segment authoritative.
+    fn commit(&mut self) -> bool {
+        true
+    }
+}
+
+impl TierMedia for MemDevice {}
+
+impl TierMedia for FileDevice {
+    fn commit(&mut self) -> bool {
+        self.checkpoint();
+        !self.is_crashed()
+    }
+}

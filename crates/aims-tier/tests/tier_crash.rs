@@ -1,0 +1,188 @@
+//! Crash-matrix extension for the tiered store (rides on PR 8's seeded
+//! [`CrashPlan`] machinery).
+//!
+//! Two sweeps under pinned seeds:
+//!
+//! - **Crash mid-compaction** (historical device dies at step k, for a
+//!   sweep of k): on reopen, every segment whose install missed its
+//!   commit point is still served **raw** — acked ingest is never
+//!   replaced by a half-written wavelet form — while committed installs
+//!   survive. Either way the reopened store holds every sample, and
+//!   after the backlog re-drains it answers bit-identically to a
+//!   single-pass oracle.
+//! - **Crash mid-ingest** (hot device dies at step k): on reopen the
+//!   store holds at least every sample acknowledged by a completed
+//!   `sync()`, and each recovered sample reads back bit-identical.
+
+use std::path::PathBuf;
+
+use aims_dsp::filters::FilterKind;
+use aims_exec::ThreadPool;
+use aims_storage::{CrashPlan, DurabilityMode, FileDeviceOptions};
+use aims_tier::{compact, range_sum_on, TierConfig, TieredStore};
+
+const SEG: usize = 64;
+const BLOCK: usize = 16;
+const TOTAL: usize = 4 * SEG + 21;
+const SEED: u64 = 0x7153;
+
+fn cfg() -> TierConfig {
+    TierConfig { segment_len: SEG, block_size: BLOCK, max_segments: 8, filter: FilterKind::Haar }
+}
+
+fn opts(crash: CrashPlan) -> FileDeviceOptions {
+    FileDeviceOptions {
+        mode: DurabilityMode::Always,
+        crash,
+        checkpoint_bytes: 1 << 20,
+        ..Default::default()
+    }
+}
+
+fn signal() -> Vec<f64> {
+    let mut state = SEED;
+    (0..TOTAL)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1283) as f64 / 3.0 - 200.0
+        })
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aims-tier-crash-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The serial single-pass oracle every recovered store must converge to.
+fn oracle_snapshot() -> aims_tier::TierSnapshot {
+    let oracle = TieredStore::new_mem(cfg());
+    oracle.push_slice(&signal());
+    oracle.seal_open();
+    compact::drain(&oracle, &ThreadPool::new(1));
+    oracle.snapshot()
+}
+
+#[test]
+fn crash_mid_compaction_keeps_raw_segments() {
+    let data = signal();
+    let serial = ThreadPool::new(1);
+    let osnap = oracle_snapshot();
+    let mut kept_raw_cases = 0usize;
+    let mut committed_cases = 0usize;
+
+    for step in (0..60u64).step_by(3) {
+        let dir = fresh_dir(&format!("hist-{step}"));
+        // Phase 1: ingest cleanly (no crash armed), seal everything.
+        {
+            let store = TieredStore::create_durable(&dir, cfg(), opts(CrashPlan::none())).unwrap();
+            store.push_slice(&data);
+            store.seal_open();
+            drop(store);
+        }
+        // Phase 2: reopen with the historical device armed; compact until
+        // the device dies (or the backlog drains).
+        {
+            let store = TieredStore::open_durable_with(
+                &dir,
+                cfg(),
+                opts(CrashPlan::none()),
+                opts(CrashPlan::at(SEED, step)),
+            )
+            .unwrap();
+            compact::drain(&store, &serial);
+            drop(store);
+        }
+        // Phase 3: reopen clean; acked ingest must be intact.
+        let store = TieredStore::open_durable(&dir, cfg(), opts(CrashPlan::none())).unwrap();
+        assert_eq!(store.len(), TOTAL, "step {step}: samples lost across crash");
+        let snap = store.snapshot();
+        let raw = snap.segments().iter().filter(|s| !s.historical).count();
+        let hist = snap.segments().len() - raw;
+        if raw > 0 {
+            kept_raw_cases += 1;
+        }
+        if hist > 0 {
+            committed_cases += 1;
+        }
+        // Every recovered sample is still queryable and correct: raw
+        // segments answer exactly, so spot-check points bit-identically.
+        for &t in &[0usize, SEG - 1, SEG, TOTAL - 1] {
+            let got = range_sum_on(&snap, t, t, &serial);
+            if snap.segments().iter().any(|s| t >= s.start && t < s.start + s.len && !s.historical)
+            {
+                assert_eq!(got.to_bits(), data[t].to_bits(), "step {step}: raw point {t}");
+            } else {
+                let want = range_sum_on(&osnap, t, t, &serial);
+                assert_eq!(got.to_bits(), want.to_bits(), "step {step}: hist point {t}");
+            }
+        }
+        // Re-drain and demand oracle bit-identity.
+        compact::drain(&store, &serial);
+        let snap = store.snapshot();
+        assert!(snap.segments().iter().all(|s| s.historical));
+        for (a, b) in [(0, TOTAL - 1), (SEG / 2, 3 * SEG), (0, 0)] {
+            let got = range_sum_on(&snap, a, b, &serial);
+            let want = range_sum_on(&osnap, a, b, &serial);
+            assert_eq!(got.to_bits(), want.to_bits(), "step {step}: range [{a}, {b}]");
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    // The sweep must exercise both sides of the commit point.
+    assert!(kept_raw_cases > 0, "sweep never crashed before an install commit");
+    assert!(committed_cases > 0, "sweep never let an install commit");
+}
+
+#[test]
+fn crash_mid_ingest_preserves_acked_samples() {
+    let data = signal();
+    let serial = ThreadPool::new(1);
+
+    for step in [5u64, 11, 23, 41, 67, 101] {
+        let dir = fresh_dir(&format!("hot-{step}"));
+        {
+            let store = TieredStore::create_durable(&dir, cfg(), opts(CrashPlan::none())).unwrap();
+            store.sync();
+            drop(store);
+        }
+        // Reopen with the hot device armed; push with periodic syncs and
+        // track the acknowledged frontier (samples covered by the last
+        // sync that completed before the crash).
+        let mut acked = 0usize;
+        {
+            let store = TieredStore::open_durable_with(
+                &dir,
+                cfg(),
+                opts(CrashPlan::at(SEED ^ step, step)),
+                opts(CrashPlan::none()),
+            )
+            .unwrap();
+            let mut pushed = 0usize;
+            for chunk in data.chunks(17) {
+                store.push_slice(chunk);
+                pushed += chunk.len();
+                store.sync();
+                if store.devices_crashed().0 {
+                    break;
+                }
+                acked = pushed;
+            }
+            drop(store);
+        }
+        // Recovery: everything acked survives, bit-identical.
+        let store = TieredStore::open_durable(&dir, cfg(), opts(CrashPlan::none())).unwrap();
+        let recovered = store.len();
+        assert!(recovered >= acked, "step {step}: recovered {recovered} samples < acked {acked}");
+        let snap = store.snapshot();
+        for t in (0..acked).step_by(29).chain(acked.checked_sub(1)) {
+            let got = range_sum_on(&snap, t, t, &serial);
+            assert_eq!(got.to_bits(), data[t].to_bits(), "step {step}: point {t}");
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

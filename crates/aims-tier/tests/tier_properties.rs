@@ -1,0 +1,174 @@
+//! The tiered store's core correctness claims, property-tested.
+//!
+//! - A store that ingested incrementally (arbitrary chunk sizes,
+//!   compaction interleaved at arbitrary points, transform pools of
+//!   1/2/8 threads) answers **bit-identically** to a store built from
+//!   the same signal in one pass and compacted serially. Compaction
+//!   changes where data lives, never what a query returns.
+//! - A hot-only (uncompacted) store answers bit-identically to naive
+//!   raw summation — the recent tier is exact, not approximate.
+//! - Progressive evaluation delivers monotone non-increasing bounds,
+//!   every intermediate estimate lands within its bound of the exact
+//!   answer, and the drained estimate *is* the exact answer.
+
+use proptest::prelude::*;
+
+use aims_dsp::filters::FilterKind;
+use aims_exec::ThreadPool;
+use aims_storage::MemDevice;
+use aims_tier::{compact, range_sum_on, TierConfig, TieredProgressive, TieredStore};
+
+const SEG: usize = 64;
+const BLOCK: usize = 16;
+
+fn cfg() -> TierConfig {
+    TierConfig { segment_len: SEG, block_size: BLOCK, max_segments: 32, filter: FilterKind::Haar }
+}
+
+/// The oracle: the whole signal in one pass, sealed, compacted serially.
+fn oracle(signal: &[f64]) -> TieredStore<MemDevice> {
+    let store = TieredStore::new_mem(cfg());
+    store.push_slice(signal);
+    store.seal_open();
+    compact::drain(&store, &ThreadPool::new(1));
+    store
+}
+
+fn signal_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..=(SEG * 6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Incremental ingest + interleaved compaction on pools 1/2/8 ==
+    /// single-pass build, bit for bit.
+    #[test]
+    fn compacted_store_bit_identical_to_single_pass_oracle(
+        signal in signal_strategy(),
+        chunks in prop::collection::vec(1usize..=96, 1..=24),
+        compact_every in 1usize..=4,
+    ) {
+        let oracle = oracle(&signal);
+        let oracle_snap = oracle.snapshot();
+        let serial = ThreadPool::new(1);
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let store = TieredStore::new_mem(cfg());
+            let mut fed = 0usize;
+            for (i, chunk) in chunks.iter().cycle().enumerate() {
+                if fed >= signal.len() {
+                    break;
+                }
+                let take = (*chunk).min(signal.len() - fed);
+                store.push_slice(&signal[fed..fed + take]);
+                fed += take;
+                if i % compact_every == 0 {
+                    compact::run_once(&store, &pool, 2);
+                }
+            }
+            store.seal_open();
+            compact::drain(&store, &pool);
+            let snap = store.snapshot();
+            prop_assert_eq!(snap.len(), signal.len());
+            // Every segment ended historical, and both stores agree on
+            // every queried range to the last bit.
+            prop_assert!(snap.segments().iter().all(|s| s.historical));
+            for (a, b) in ranges(signal.len()) {
+                let got = range_sum_on(&snap, a, b, &serial);
+                let want = range_sum_on(&oracle_snap, a, b, &serial);
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "range [{}, {}]: {} vs {}", a, b, got, want
+                );
+            }
+        }
+    }
+
+    /// The hot tier is exact: an uncompacted store matches raw summation
+    /// bit for bit. (The reference groups by segment, matching the
+    /// store's documented one-partial-per-segment fold order.)
+    #[test]
+    fn hot_tier_is_exact(signal in signal_strategy()) {
+        let store = TieredStore::new_mem(cfg());
+        store.push_slice(&signal);
+        let snap = store.snapshot();
+        let serial = ThreadPool::new(1);
+        for (a, b) in ranges(signal.len()) {
+            let naive = grouped_sum(&signal, a, b);
+            let got = range_sum_on(&snap, a, b, &serial);
+            prop_assert_eq!(got.to_bits(), naive.to_bits());
+        }
+    }
+
+    /// Progressive merge: bounds shrink monotonically, cover the true
+    /// error at every step, and converge to the exact answer.
+    #[test]
+    fn progressive_bounds_monotone_and_sound(
+        signal in signal_strategy(),
+        compacted in 0usize..=6,
+    ) {
+        let store = TieredStore::new_mem(cfg());
+        store.push_slice(&signal);
+        store.seal_open();
+        let serial = ThreadPool::new(1);
+        compact::run_once(&store, &serial, compacted);
+        let snap = store.snapshot();
+        for (a, b) in ranges(signal.len()) {
+            let exact = range_sum_on(&snap, a, b, &serial);
+            let mut prog = TieredProgressive::new(&snap, a, b, &serial);
+            let mut prev = f64::INFINITY;
+            let mut step = prog.current();
+            loop {
+                prop_assert!(step.bound <= prev, "bound grew: {} -> {}", prev, step.bound);
+                let scale = 1.0f64.max(exact.abs());
+                prop_assert!(
+                    (step.estimate - exact).abs() <= step.bound + 1e-9 * scale,
+                    "estimate {} vs exact {} outside bound {}",
+                    step.estimate, exact, step.bound
+                );
+                prev = step.bound;
+                if prog.done() {
+                    break;
+                }
+                step = prog.step(3);
+            }
+            let last = prog.drain();
+            prop_assert_eq!(last.estimate.to_bits(), exact.to_bits());
+            prop_assert_eq!(last.bound.to_bits(), 0.0f64.to_bits());
+        }
+    }
+}
+
+/// Raw-sum reference with the store's fold order: one partial per
+/// segment window, partials folded in ascending segment order.
+fn grouped_sum(signal: &[f64], a: usize, b: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut start = 0usize;
+    while start < signal.len() {
+        let end = (start + SEG).min(signal.len());
+        if a < end && b >= start {
+            let la = a.max(start);
+            let lb = b.min(end - 1);
+            let mut partial = 0.0;
+            for &v in &signal[la..=lb] {
+                partial += v;
+            }
+            acc += partial;
+        }
+        start = end;
+    }
+    acc
+}
+
+/// A deterministic fan of query ranges covering segment interiors,
+/// boundaries, and the full span.
+fn ranges(n: usize) -> Vec<(usize, usize)> {
+    let last = n - 1;
+    let mut out = vec![(0, last), (0, 0), (last, last), (last / 2, last), (0, last / 2)];
+    if n > SEG {
+        out.push((SEG - 1, SEG.min(last)));
+        out.push((SEG / 2, (2 * SEG).min(last)));
+    }
+    out
+}

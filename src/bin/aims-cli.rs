@@ -25,6 +25,8 @@
 //! aims-cli kernels   [--side 256]
 //! aims-cli durability [--mode always|periodic:K|none] [--seed 52417] [--blocks 32] \
 //!                    [--block-size 16] [--writes 96] [--dir DIR] [--format table|json]
+//! aims-cli tiers     [--seed 7153] [--samples 200000] [--segment 4096] [--block 256] \
+//!                    [--dir DIR] [--format table|json]
 //! ```
 //!
 //! `generate` simulates a CyberGlove session to CSV; `ingest` runs the
@@ -59,7 +61,12 @@
 //! drill — a seeded write workload against a temp-dir (or `--dir`)
 //! file-backed store is killed at a seeded crash point, reopened, and the
 //! recovered image checked bit-identical to a committed write prefix,
-//! with the recovery report and `storage.wal.*` telemetry printed.
+//! with the recovery report and `storage.wal.*` telemetry printed;
+//! `tiers` runs the tiered-ingest drill — concurrent ingest, background
+//! wavelet compaction and progressive queries over one file-backed
+//! [`TieredStore`](aims::tier::TieredStore) — and exits non-zero unless
+//! the drained store answers bit-identically to a serial single-store
+//! oracle with monotone bounds throughout.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -76,7 +83,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: aims-cli \
 <generate|ingest|query|serve|recognize|metrics|faults|ingest-faults|trace|top|chaos\
-|kernels|durability> [--key value]...\n\
+|kernels|durability|tiers> [--key value]...\n\
          \n\
          generate  --seconds <f> --activity <0..1> --seed <n> --out <file>\n\
          ingest    --input <file> [--strategy adaptive|fixed|modified-fixed|grouped]\n\
@@ -100,7 +107,9 @@ fn usage() -> ! {
          chaos     [--seed <n>] [--format table|json]\n\
          kernels   [--side <n>]\n\
          durability [--mode always|periodic:K|none] [--seed <n>] [--blocks <n>]\n\
-                   [--block-size <n>] [--writes <n>] [--dir <path>] [--format table|json]"
+                   [--block-size <n>] [--writes <n>] [--dir <path>] [--format table|json]\n\
+         tiers     [--seed <n>] [--samples <n>] [--segment <n>] [--block <n>]\n\
+                   [--dir <path>] [--format table|json]"
     );
     exit(2);
 }
@@ -993,6 +1002,28 @@ fn print_session_rows(json_lines: &str) {
 /// Polls a running server's METRICS_REQ and renders the telemetry
 /// snapshot — a live `top`-style view. The wire carries structured JSON
 /// lines (metric and session rows); the tables are rendered client-side.
+/// One compact line summarizing the tiered ingest engine, shown by `top`
+/// when the server's snapshot carries `tier.*` counters (servers without
+/// a tiered store print nothing).
+fn print_tier_row(snap: &aims::telemetry::Snapshot) {
+    let opened = snap.counter("tier.segments.open");
+    let sealed = snap.counter("tier.segments.sealed");
+    let compacted = snap.counter("tier.segments.compacted");
+    if opened + sealed + compacted == 0 {
+        return;
+    }
+    let pending = snap.gauge("tier.segments.raw_pending").unwrap_or(0.0);
+    let runs = snap.counter("tier.compaction.runs");
+    let ms = snap.counter("tier.compaction.ns") as f64 / 1e6;
+    println!(
+        "tiers: {opened} opened / {sealed} sealed / {compacted} compacted \
+         ({pending:.0} raw pending), {runs} compaction runs ({ms:.1} ms), \
+         {} hot rows / {} merged queries\n",
+        snap.counter("tier.query.hot_rows"),
+        snap.counter("tier.query.merged"),
+    );
+}
+
 fn cmd_top(flags: &HashMap<String, String>) {
     use aims::service::TcpClient;
     use aims::telemetry::Snapshot;
@@ -1026,6 +1057,7 @@ fn cmd_top(flags: &HashMap<String, String>) {
             });
             println!("-- {connect} tick {tick} --");
             print_session_rows(&json);
+            print_tier_row(&snap);
             print!("{}", snap.render_table());
         }
         if iterations > 0 && tick >= iterations {
@@ -1299,6 +1331,227 @@ fn cmd_durability(flags: &HashMap<String, String>) {
     }
 }
 
+/// Runs the tiered-ingest drill locally: a file-backed [`TieredStore`]
+/// in a temp dir (or `--dir`) absorbs a seeded signal on one thread
+/// while the background compactor swaps sealed segments into wavelet
+/// form and a planner runs progressive range sums against live
+/// snapshots. Prints ingest rate, compaction lag, query latency and the
+/// `tier.*` telemetry, then exits non-zero unless every live trajectory
+/// kept monotone bounds and the drained store answered bit-identically
+/// to a serial single-store oracle.
+fn cmd_tiers(flags: &HashMap<String, String>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use aims::service::{TieredPlanner, TieredPlannerConfig};
+    use aims::storage::file::{CrashPlan, DurabilityMode, FileDeviceOptions};
+    use aims::tier::{compact, range_sum_on, Compactor, CompactorConfig, TierConfig, TieredStore};
+
+    let seed: u64 = flag(flags, "seed", 7153);
+    let samples: usize = flag(flags, "samples", 200_000);
+    let segment: usize = flag(flags, "segment", 4096);
+    let block: usize = flag(flags, "block", 256);
+    let format: String = flag(flags, "format", "table".into());
+    if format != "table" && format != "json" {
+        eprintln!("unknown format '{format}' (table|json)");
+        usage();
+    }
+    if samples == 0 || !segment.is_power_of_two() || !block.is_power_of_two() || block > segment {
+        eprintln!("need --samples > 0 and power-of-two --block <= --segment");
+        exit(2);
+    }
+    let (dir, keep) = match flags.get("dir") {
+        Some(d) => (std::path::PathBuf::from(d), true),
+        None => (std::env::temp_dir().join(format!("aims-tiers-{}", std::process::id())), false),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+
+    let cfg = TierConfig {
+        segment_len: segment,
+        block_size: block,
+        max_segments: samples.div_ceil(segment) + 4,
+        filter: aims::dsp::filters::FilterKind::Haar,
+    };
+    let mut state = seed | 1;
+    let data: Vec<f64> = (0..samples)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 3203) as f64 / 9.0 - 170.0
+        })
+        .collect();
+
+    let before = aims::telemetry::global().snapshot();
+    let opts = FileDeviceOptions {
+        mode: DurabilityMode::Periodic(64),
+        crash: CrashPlan::none(),
+        ..Default::default()
+    };
+    let store = TieredStore::create_durable(&dir, cfg, opts).unwrap_or_else(|e| {
+        eprintln!("create {}: {e}", dir.display());
+        exit(1);
+    });
+    let compactor = Compactor::spawn(store.clone(), CompactorConfig::default());
+    let ingesting = Arc::new(AtomicBool::new(true));
+    let mut violations = 0usize;
+
+    let (ingest_wall, latencies_ms, bound_violations) = std::thread::scope(|scope| {
+        let ingest = {
+            let store = store.clone();
+            let ingesting = Arc::clone(&ingesting);
+            let data = &data;
+            scope.spawn(move || {
+                let t = Instant::now();
+                for chunk in data.chunks(segment) {
+                    store.push_slice(chunk);
+                }
+                store.seal_open();
+                let wall = t.elapsed();
+                ingesting.store(false, Ordering::Release);
+                wall
+            })
+        };
+        let queries = {
+            let store = store.clone();
+            let ingesting = Arc::clone(&ingesting);
+            scope.spawn(move || {
+                let planner = TieredPlanner::new(store, TieredPlannerConfig::default());
+                let mut lat = Vec::new();
+                let mut bad = 0usize;
+                let mut k = 0usize;
+                while ingesting.load(Ordering::Acquire) {
+                    let n = planner.store().len();
+                    if n == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let (a, b) = if k.is_multiple_of(2) {
+                        (0, n - 1)
+                    } else {
+                        (n.saturating_sub(segment), n - 1)
+                    };
+                    let t = Instant::now();
+                    let ans = planner.range_sum(a, b);
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    let mut prev = f64::INFINITY;
+                    for s in &ans.steps {
+                        if s.bound > prev {
+                            bad += 1;
+                        }
+                        prev = s.bound;
+                    }
+                    k += 1;
+                }
+                (lat, bad)
+            })
+        };
+        let wall = ingest.join().expect("ingest thread");
+        let (lat, bad) = queries.join().expect("query thread");
+        (wall, lat, bad)
+    });
+    violations += bound_violations;
+
+    // Compaction lag: drain time once ingest stops.
+    let t = Instant::now();
+    let deadline = t + Duration::from_secs(60);
+    while store.stats().sealed_raw > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let drained = store.stats().sealed_raw == 0;
+    if !drained {
+        violations += 1;
+    }
+    let lag_ms = t.elapsed().as_secs_f64() * 1e3;
+    let compacted = compactor.stop();
+
+    // Oracle gate: bit-identical to a serial single-pass store.
+    let serial = aims::exec::ThreadPool::new(1);
+    let oracle = TieredStore::new_mem(cfg);
+    oracle.push_slice(&data);
+    oracle.seal_open();
+    compact::drain(&oracle, &serial);
+    let (snap, osnap) = (store.snapshot(), oracle.snapshot());
+    if snap.len() != samples {
+        violations += 1;
+    }
+    let mut oracle_ok = true;
+    let last = samples - 1;
+    for (a, b) in [(0, last), (0, 0), (last / 2, last), (last / 3, 2 * last / 3)] {
+        let got = range_sum_on(&snap, a, b, &serial);
+        let want = range_sum_on(&osnap, a, b, &serial);
+        if got.to_bits() != want.to_bits() {
+            oracle_ok = false;
+            violations += 1;
+        }
+    }
+    store.checkpoint();
+    drop(store);
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let rate = samples as f64 / ingest_wall.as_secs_f64();
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let delta = aims::telemetry::global().snapshot().delta_since(&before);
+
+    if format == "json" {
+        println!(
+            "{{\"seed\":{seed},\"samples\":{samples},\"segment\":{segment},\"block\":{block},\
+             \"threads\":{},\"ingest_samples_per_sec\":{rate:.1},\
+             \"compaction_lag_ms\":{lag_ms:.3},\"segments_compacted\":{compacted},\
+             \"queries\":{},\"query_p50_ms\":{:.4},\"query_p99_ms\":{:.4},\
+             \"drained\":{drained},\"oracle_identical\":{oracle_ok},\"violations\":{violations}}}",
+            aims::exec::configured_threads(),
+            latencies_ms.len(),
+            pct(0.50),
+            pct(0.99),
+        );
+    } else {
+        println!(
+            "tier drill: seed={seed} samples={samples} segment={segment} block={block} \
+             threads={}",
+            aims::exec::configured_threads()
+        );
+        println!("  ingest             : {rate:.0} samples/s ({:.1?} wall)", ingest_wall);
+        println!("  compaction         : {compacted} segments, {lag_ms:.1} ms lag after ingest");
+        println!(
+            "  queries (live)     : {} runs, p50 {:.3} ms, p99 {:.3} ms",
+            latencies_ms.len(),
+            pct(0.50),
+            pct(0.99),
+        );
+        println!("  backlog drained    : {drained}");
+        println!("  oracle bit-identity: {oracle_ok}");
+        println!("\n-- tier telemetry (this drill) --");
+        for name in [
+            "tier.segments.open",
+            "tier.segments.sealed",
+            "tier.segments.compacted",
+            "tier.compaction.runs",
+            "tier.compaction.ns",
+            "tier.compaction.bytes",
+            "tier.query.hot_rows",
+            "tier.query.merged",
+        ] {
+            println!("  {name:<26} {}", delta.counter(name));
+        }
+    }
+    if violations > 0 {
+        eprintln!("tier drill FAILED: {violations} invariant violation(s)");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -1319,6 +1572,7 @@ fn main() {
         "chaos" => cmd_chaos(&flags),
         "kernels" => cmd_kernels(&flags),
         "durability" => cmd_durability(&flags),
+        "tiers" => cmd_tiers(&flags),
         _ => usage(),
     }
 }
